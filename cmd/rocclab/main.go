@@ -1,0 +1,61 @@
+// Command rocclab runs the §6.2 testbed scenarios on real UDP sockets
+// over loopback (the DPDK-evaluation analog, Fig. 13): a user-space
+// software switch with the RoCC congestion point, and three clients with
+// reaction points. Compare its output with `roccsim fig13`.
+//
+// Usage:
+//
+//	rocclab [-dur 4s] [-rate 400e6] [uni|mix|both]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rocc/internal/testbed"
+)
+
+func main() {
+	dur := flag.Duration("dur", 4*time.Second, "scenario duration (real time)")
+	rate := flag.Float64("rate", 400e6, "software switch drain rate, bits/s")
+	flag.Parse()
+
+	which := "both"
+	if flag.NArg() > 0 {
+		which = flag.Arg(0)
+	}
+	cfg := testbed.DefaultConfig()
+	cfg.DrainRate = *rate
+
+	scenarios := []testbed.Scenario{testbed.Uniform, testbed.Mixed}
+	switch which {
+	case "uni":
+		scenarios = scenarios[:1]
+	case "mix":
+		scenarios = scenarios[1:]
+	case "both":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scenario %q (want uni, mix or both)\n", which)
+		os.Exit(2)
+	}
+
+	fmt.Printf("software switch: drain %.0f Mb/s, T=%v, Qref=%d KB\n",
+		*rate/1e6, cfg.T, cfg.CP.QrefBytes/1000)
+	for _, sc := range scenarios {
+		res, err := testbed.Run(cfg, sc, *dur)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "testbed:", err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+		ideal := *rate / 3 / 1e6
+		if sc == testbed.Mixed {
+			// Max-min: clients 2 and 3 are innocent; client 1 gets the rest.
+			ideal = *rate * 0.6 / 1e6
+		}
+		fmt.Printf("  (ideal fair rate %.1f Mb/s, reference queue %d KB)\n",
+			ideal, cfg.CP.QrefBytes/1000)
+	}
+}

@@ -1,0 +1,53 @@
+// Command roccp4 emits the §4.2 P4 artifacts: the v1model P4₁₆ program
+// for the RoCC switch role and the control-plane parameter registry.
+//
+// Usage:
+//
+//	roccp4 [-gbps 40] [-t 40] [-o DIR]
+//
+// Writes rocc.p4 and rocc_controlplane.json into DIR (default ".").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"rocc/internal/core"
+	"rocc/internal/p4gen"
+)
+
+func main() {
+	gbps := flag.Float64("gbps", 40, "link bandwidth the CP parameters target")
+	t := flag.Int("t", 40, "CNP generation period in microseconds")
+	out := flag.String("o", ".", "output directory")
+	flag.Parse()
+
+	opts := p4gen.Options{Core: core.CPConfigForGbps(*gbps), TMicros: *t}
+	program, err := p4gen.Program(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	config, err := p4gen.Config(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	p4Path := filepath.Join(*out, "rocc.p4")
+	cfgPath := filepath.Join(*out, "rocc_controlplane.json")
+	if err := os.WriteFile(p4Path, []byte(program), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(cfgPath, []byte(config), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s and %s (B=%.0fG, T=%dus)\n", p4Path, cfgPath, *gbps, *t)
+}

@@ -1,0 +1,441 @@
+// Command roccsim regenerates the tables and figures of the RoCC paper's
+// evaluation (§6 and App. A) on the packet-level simulator.
+//
+// Usage:
+//
+//	roccsim [flags] <experiment>
+//
+// Experiments: fig5 fig6 fig7a fig7b fig8 fig9 fig11 fig12a fig12b fig13
+// fig14 fig15 fig16 table3 fig17 fig18 fig19 fig20 qos table1 all
+//
+// Flags:
+//
+//	-dur    duration of timed experiments (default per experiment)
+//	-seed   RNG seed (default 1)
+//	-full   use the paper's full fat-tree scale (3x3x30) and durations
+//	-load   average load level for §6.3 runs (default 0.7)
+//	-runs   repetitions for §6.3 runs (default 1; the paper uses 5)
+//	-plot   render queue/rate series as ASCII charts (fig8, fig9, fig13)
+//	-csv    directory to write raw series/bin CSVs into
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rocc/internal/experiments"
+	"rocc/internal/export"
+	"rocc/internal/netsim"
+	"rocc/internal/plot"
+	"rocc/internal/qos"
+	"rocc/internal/roccnet"
+	"rocc/internal/sim"
+	"rocc/internal/stats"
+	"rocc/internal/topology"
+	"rocc/internal/workload"
+)
+
+var (
+	durFlag  = flag.Duration("dur", 0, "duration of timed experiments (virtual time)")
+	seedFlag = flag.Int64("seed", 1, "RNG seed")
+	fullFlag = flag.Bool("full", false, "use the paper's full fat-tree scale")
+	loadFlag = flag.Float64("load", 0.7, "average load level for §6.3 runs")
+	runsFlag = flag.Int("runs", 1, "repetitions for §6.3 runs (paper: 5)")
+	plotFlag = flag.Bool("plot", false, "render ASCII charts for series-producing experiments")
+	csvFlag  = flag.String("csv", "", "directory to write raw CSV outputs into")
+	fanFlag  = flag.Int("fanin", 0, "synchronized incast fan-in for fig18/fig20 (0 = smooth Poisson; 30 = paper incast level)")
+)
+
+// emitSeries optionally plots and/or exports sampled series.
+func emitSeries(name string, series ...*stats.Series) {
+	if *plotFlag {
+		fmt.Println(plot.Line(name, 72, 12, series...))
+	}
+	if *csvFlag != "" {
+		if err := os.MkdirAll(*csvFlag, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			return
+		}
+		f, err := os.Create(filepath.Join(*csvFlag, name+".csv"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+			return
+		}
+		defer f.Close()
+		if err := export.Series(f, series...); err != nil {
+			fmt.Fprintln(os.Stderr, "csv:", err)
+		}
+	}
+}
+
+// emitBins optionally exports per-bin FCT statistics.
+func emitBins(name, protocol string, bins []stats.BinStat) {
+	if *csvFlag == "" {
+		return
+	}
+	if err := os.MkdirAll(*csvFlag, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		return
+	}
+	path := filepath.Join(*csvFlag, name+"_"+protocol+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+		return
+	}
+	defer f.Close()
+	if err := export.Bins(f, protocol, bins); err != nil {
+		fmt.Fprintln(os.Stderr, "csv:", err)
+	}
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] <fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|all>")
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	start := time.Now()
+	if name == "all" {
+		for _, n := range []string{"table1", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig11",
+			"fig12a", "fig12b", "fig13", "fig14", "fig15", "fig16", "table3", "fig17", "fig18", "fig19", "fig20", "qos"} {
+			run(n)
+			fmt.Println()
+		}
+	} else {
+		run(name)
+	}
+	fmt.Printf("\n(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+func dur(def sim.Time) sim.Time {
+	if *durFlag > 0 {
+		return sim.Time(durFlag.Nanoseconds())
+	}
+	return def
+}
+
+func run(name string) {
+	switch name {
+	case "fig5":
+		runFig5()
+	case "fig6":
+		runFig6()
+	case "fig7a", "fig7b":
+		runFig7(name)
+	case "fig8":
+		runFig8()
+	case "fig9":
+		runFig9()
+	case "fig11":
+		runFig11()
+	case "fig12a":
+		runFig12a()
+	case "fig12b":
+		runFig12b()
+	case "fig13":
+		runFig13()
+	case "fig14", "fig15", "fig16":
+		runFCTFigs(name)
+	case "table3":
+		runTable3()
+	case "fig17":
+		runFig17()
+	case "fig18":
+		runFold("fig18", experiments.Unlimited, workload.FBHadoop())
+	case "fig20":
+		runFold("fig20", experiments.Lossy, workload.FBHadoop())
+	case "fig19":
+		runFig19()
+	case "qos":
+		runQoS()
+	case "table1":
+		runTable1()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+		os.Exit(2)
+	}
+}
+
+func runFig5() {
+	fmt.Println("Fig 5: phase margin (deg) over (alpha, beta); T=40us, N=2")
+	points := experiments.RunFig5()
+	fmt.Printf("%10s %10s %10s\n", "alpha", "beta", "margin")
+	for _, p := range points {
+		fmt.Printf("%10.4f %10.4f %10.1f\n", p.Alpha, p.Beta, p.MarginDeg)
+	}
+}
+
+func runFig6() {
+	fmt.Println("Fig 6: stability margin for N=2 vs N=10 (alpha=0.3, beta=3)")
+	for _, r := range experiments.RunFig6() {
+		fmt.Printf("  N=%-3.0f margin=%6.1f deg  crossover=%8.0f Hz\n", r.N, r.MarginDeg, r.CrossoverHz)
+	}
+}
+
+func runFig7(which string) {
+	rows := experiments.RunFig7()
+	if which == "fig7a" {
+		fmt.Println("Fig 7a: phase margin (deg) vs N for six alpha:beta pairs")
+	} else {
+		fmt.Println("Fig 7b: loop bandwidth (Hz) vs N for six alpha:beta pairs")
+	}
+	var lastPair [2]float64
+	for _, r := range rows {
+		if [2]float64{r.Pair.Alpha, r.Pair.Beta} != lastPair {
+			lastPair = [2]float64{r.Pair.Alpha, r.Pair.Beta}
+			fmt.Printf("pair alpha=%.4f beta=%.4f:\n", r.Pair.Alpha, r.Pair.Beta)
+		}
+		if which == "fig7a" {
+			fmt.Printf("  N=%-4.0f margin=%7.1f\n", r.N, r.MarginDeg)
+		} else {
+			fmt.Printf("  N=%-4.0f bandwidth=%9.0f\n", r.N, r.BandwidthHz)
+		}
+	}
+	fmt.Println("auto-tuned (alpha~=0.3, beta~=3):")
+	for _, r := range experiments.RunAutoTune(0.3, 3) {
+		fmt.Printf("  N=%-4.0f level=%-3d margin=%6.1f bandwidth=%9.0f\n", r.N, r.Level, r.MarginDeg, r.BandwidthHz)
+	}
+}
+
+func runFig8() {
+	fmt.Println("Fig 8: fairness and stability as load increases (90% offered load)")
+	for _, gbps := range []float64{40, 100} {
+		for _, n := range []int{2, 10, 100} {
+			r := experiments.RunFig8(experiments.Fig8Config{
+				N: n, Gbps: gbps, Duration: dur(20 * sim.Millisecond), Seed: *seedFlag,
+			})
+			fmt.Printf("  B=%3.0fG N=%-3d queue=%6.0f KB (ref %s)  fair=%7.2f Gb/s (ideal %.2f)  conv=%.1f ms  pfc=%d\n",
+				gbps, n, r.SteadyQueKB, map[float64]string{40: "150", 100: "300"}[gbps],
+				r.SteadyRate, r.ExpectedRate, r.ConvergedAt*1e3, r.PFCFrames)
+			emitSeries(fmt.Sprintf("fig8_B%.0f_N%d", gbps, n), r.Queue, r.FairRate)
+		}
+	}
+}
+
+func runFig9() {
+	fmt.Println("Fig 9: convergence under exponential load increase/decrease")
+	phase := dur(10 * sim.Millisecond)
+	r := experiments.RunFig9(experiments.Fig9Config{Phase: phase, Seed: *seedFlag})
+	for i := range r.PhaseN {
+		// Per-flow fair share, capped by the 36 Gb/s offered load.
+		ideal := 40.0 / float64(r.PhaseN[i])
+		if ideal > 36 {
+			ideal = 36
+		}
+		fmt.Printf("  phase %2d: N=%-3d fair=%7.2f Gb/s (ideal %.2f)\n", i, r.PhaseN[i], r.PhaseRates[i], ideal)
+	}
+	fmt.Printf("  PFC frames: %d\n", r.PFCFrames)
+	emitSeries("fig9", r.Queue, r.FairRate)
+}
+
+func runFig11() {
+	fmt.Println("Fig 11: comparison on N=10, B=40G (fairness / stability / convergence)")
+	fmt.Printf("  %-9s %22s %16s %8s %6s\n", "protocol", "per-flow rate (Gb/s)", "queue (KB)", "util", "Jain")
+	for _, p := range experiments.MicroProtocols() {
+		row := experiments.RunFig11(p, experiments.Fig11Config{Duration: dur(40 * sim.Millisecond), Seed: *seedFlag})
+		fmt.Printf("  %-9s %6.2f ± %-5.2f [%4.1f..%4.1f] %7.0f ± %-6.0f %6.2f %6.4f\n",
+			row.Protocol, row.FlowRateMean, row.FlowRateStd, row.FlowRateMin, row.FlowRateMax,
+			row.QueueMeanKB, row.QueueStdKB, row.Utilization, row.JainIndex)
+	}
+}
+
+func runFig12a() {
+	fmt.Println("Fig 12a: multi-bottleneck fairness (ideal: D0=D5=5, D1..D4=8.75 Gb/s)")
+	for _, p := range experiments.ComparisonProtocols() {
+		r := experiments.RunFig12a(p, dur(40*sim.Millisecond), *seedFlag)
+		fmt.Printf("  %-9s D0=%5.2f  D1..4=%5.2f %5.2f %5.2f %5.2f  D5=%5.2f\n",
+			p, r.D[0], r.D[1], r.D[2], r.D[3], r.D[4], r.D[5])
+	}
+}
+
+func runFig12b() {
+	fmt.Println("Fig 12b: asymmetric-topology fairness (ideal: every flow 14.3 Gb/s)")
+	for _, p := range experiments.ComparisonProtocols() {
+		r := experiments.RunFig12b(p, dur(40*sim.Millisecond), *seedFlag)
+		fmt.Printf("  %-9s slow(D0..D4)=%6.2f  fast(D5..D6)=%6.2f Gb/s\n", p, r.SlowAvg, r.FastAvg)
+	}
+}
+
+func runFig13() {
+	fmt.Println("Fig 13: testbed-twin simulation (3x10G; see cmd/rocclab for real sockets)")
+	for _, sc := range []experiments.Fig13Scenario{experiments.Fig13Uniform, experiments.Fig13Mixed} {
+		r := experiments.RunFig13Sim(sc, dur(100*sim.Millisecond), *seedFlag)
+		want := "3.33"
+		if sc == experiments.Fig13Mixed {
+			want = "6.00"
+		}
+		fmt.Printf("  sim-%s: queue=%5.0f KB (ref 75)  fair=%5.2f Gb/s (ideal %s)\n",
+			sc, r.SteadyQueKB, r.SteadyRate, want)
+	}
+}
+
+func fctConfig(p experiments.Protocol, wl *workload.CDF, seed int64) experiments.FCTConfig {
+	cfg := experiments.FCTConfig{
+		Protocol: p,
+		Workload: wl,
+		Load:     *loadFlag,
+		Seed:     seed,
+	}
+	if *fullFlag {
+		cfg.FatTree = topology.PaperFatTree()
+		cfg.Duration = dur(100 * sim.Millisecond)
+	} else {
+		cfg.FatTree = topology.PaperFatTree()
+		cfg.Duration = dur(30 * sim.Millisecond)
+	}
+	return cfg
+}
+
+func runFCTFigs(name string) {
+	metric := map[string]string{"fig14": "average", "fig15": "90th percentile", "fig16": "99th percentile"}[name]
+	fmt.Printf("%s: %s FCT per flow-size bin (load %.0f%%)\n", name, metric, *loadFlag*100)
+	for _, wl := range []*workload.CDF{workload.WebSearch(), workload.FBHadoop()} {
+		fmt.Printf("-- %s traffic --\n", wl.Name())
+		for _, p := range experiments.ComparisonProtocols() {
+			var runs [][]stats.BinStat
+			for rep := 0; rep < *runsFlag; rep++ {
+				r := experiments.RunFCT(fctConfig(p, wl, *seedFlag+int64(rep)))
+				runs = append(runs, r.Bins)
+			}
+			bins, ci := experiments.MergeBins(runs)
+			emitBins(name+"_"+wl.Name(), string(p), bins)
+			fmt.Printf("  %-9s", p)
+			for i, b := range bins {
+				v := b.AvgMs
+				switch name {
+				case "fig15":
+					v = b.P90Ms
+				case "fig16":
+					v = b.P99Ms
+				}
+				_ = ci[i]
+				fmt.Printf(" %s:%.3f", sizeLabel(b.UpperBytes), v)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func runTable3() {
+	fmt.Printf("Table 3: flow-level average rate allocation (FB_Hadoop, load %.0f%%)\n", *loadFlag*100)
+	fmt.Printf("  %-9s %14s %16s\n", "protocol", "avg rate (Mb/s)", "std dev (Mb/s)")
+	for _, p := range experiments.ComparisonProtocols() {
+		r := experiments.RunFCT(fctConfig(p, workload.FBHadoop(), *seedFlag))
+		row := experiments.Table3FromResult(r)
+		fmt.Printf("  %-9s %14.2f %16.2f\n", row.Protocol, row.MeanMbps, row.StdMbps)
+	}
+}
+
+func runFig17() {
+	fmt.Printf("Fig 17: average queue size and PFC activation per CP tier (WebSearch, load %.0f%%)\n", *loadFlag*100)
+	fmt.Printf("  %-9s %26s %26s\n", "protocol", "avg queue KB (core/in/out)", "PFC frames (core/in/out)")
+	for _, p := range experiments.ComparisonProtocols() {
+		r := experiments.RunFCT(fctConfig(p, workload.WebSearch(), *seedFlag))
+		fmt.Printf("  %-9s %8.0f /%6.0f /%6.0f %10d /%6d /%6d\n",
+			p, r.Core.AvgQueueKB, r.IngressEdge.AvgQueueKB, r.EgressEdge.AvgQueueKB,
+			r.Core.PFCFrames, r.IngressEdge.PFCFrames, r.EgressEdge.PFCFrames)
+	}
+}
+
+func runFold(name string, mode experiments.BufferMode, wl *workload.CDF) {
+	label := "PFC disabled + unlimited buffer"
+	if mode == experiments.Lossy {
+		label = "lossy (buffer = 3x PFC threshold, go-back-N)"
+	}
+	fmt.Printf("%s: FCT fold increase under %s (%s, load %.0f%%, fan-in %d)\n", name, label, wl.Name(), *loadFlag*100, *fanFlag)
+	for _, p := range experiments.ComparisonProtocols() {
+		cfg := fctConfig(p, wl, *seedFlag)
+		cfg.IncastFanIn = *fanFlag // -fanin 30 reproduces the paper's incast level; see EXPERIMENTS.md
+		r := experiments.RunFold(cfg, mode)
+		fmt.Printf("  %-9s", p)
+		for _, row := range r.Rows {
+			if row.Fold > 0 {
+				fmt.Printf(" %s:%.1fx", sizeLabel(row.UpperBytes), row.Fold)
+			}
+		}
+		if mode == experiments.Lossy {
+			fmt.Printf("  retx=%.1f%%", r.RetxShare*100)
+		} else {
+			fmt.Printf("  buffer-fold=%.1fx", r.BufferFold)
+		}
+		fmt.Println()
+	}
+}
+
+func runFig19() {
+	fmt.Println("Fig 19 (App A.1): baseline verification ladder N: 1->4->1")
+	for _, p := range []experiments.Protocol{experiments.ProtoDCQCN, experiments.ProtoHPCC} {
+		r := experiments.RunFig19(p, dur(20*sim.Millisecond), *seedFlag)
+		fmt.Printf("  %-9s\n", p)
+		for i := range r.PhaseN {
+			fmt.Printf("    N=%d rates: %s (ideal %.1f each)\n",
+				r.PhaseN[i], experiments.FormatGbps(r.PhaseRates[i]), 40.0/float64(r.PhaseN[i]))
+		}
+	}
+}
+
+func sizeLabel(bytes int) string {
+	switch {
+	case bytes >= 1000*1000:
+		return fmt.Sprintf("%dM", bytes/(1000*1000))
+	case bytes >= 1000:
+		return fmt.Sprintf("%dK", bytes/1000)
+	default:
+		return fmt.Sprintf("%d", bytes)
+	}
+}
+
+// runQoS demonstrates the §8 future-work extension: class-level
+// fairness via weighted fair rates.
+func runQoS() {
+	fmt.Println("QoS extension: 6 flows, classes gold(w=1.0) / silver(w=0.5), B=40G")
+	engine := sim.New()
+	star := topology.BuildStar(engine, *seedFlag, 6, netsim.Gbps(40))
+	classIdx := map[netsim.FlowID]int{}
+	qos.Attach(star.Net, star.Switch, star.Bottleneck, qos.Options{
+		Weights:  []float64{1, 0.5},
+		Classify: func(f netsim.FlowID) int { return classIdx[f] },
+	})
+	var flows []*netsim.Flow
+	for i, src := range star.Sources {
+		f := star.Net.StartFlow(src, star.Dst, netsim.FlowConfig{
+			Size: -1, MaxRate: netsim.Gbps(36),
+			CC: roccnet.NewFlowCC(engine, src, roccnet.RPOptions{}),
+		})
+		classIdx[f.ID] = i % 2
+		flows = append(flows, f)
+	}
+	engine.RunUntil(dur(20 * sim.Millisecond))
+	var shares [2]float64
+	for _, f := range flows {
+		shares[classIdx[f.ID]] += float64(f.DeliveredBytes()) * 8 / engine.Now().Seconds() / 1e9
+	}
+	fmt.Println(plot.Bars("class shares", 40, "Gb/s", []plot.Bar{
+		{Label: "gold", Value: shares[0]},
+		{Label: "silver", Value: shares[1]},
+	}))
+	fmt.Printf("ratio %.2f (ideal 2.0)\n", shares[0]/shares[1])
+}
+
+// runTable1 prints the paper's qualitative comparison of congestion
+// control solutions (Table 1), with the packages implementing each row.
+func runTable1() {
+	fmt.Println("Table 1: comparison of selected congestion control solutions")
+	fmt.Printf("  %-9s %-34s %-44s %-26s %s\n", "solution", "switch action", "source action", "destination action", "package")
+	rows := [][5]string{
+		{"DCTCP", "mark ECN", "adjust congestion window based on ECN", "echo ECN", "internal/dctcp"},
+		{"QCN", "compute and send Fb to source", "compute rate based on Fb", "none", "internal/qcn"},
+		{"DCQCN", "mark ECN", "compute rate based on CNP", "send CNP to source", "internal/dcqcn"},
+		{"TIMELY", "none", "send RTT probes, compute rate from RTT", "echo RTT probes", "internal/timely"},
+		{"HPCC", "inject INT", "adjust sending window based on INT", "echo INT", "internal/hpcc"},
+		{"RoCC", "compute and send rate to source", "use minimum rate received from switches", "none", "internal/core"},
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-9s %-34s %-44s %-26s %s\n", r[0], r[1], r[2], r[3], r[4])
+	}
+}

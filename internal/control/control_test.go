@@ -1,0 +1,212 @@
+package control
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperConservativePairStableForAllN(t *testing.T) {
+	// §5.2: α = 0.0093, β = 0.0937 "ensures a phase margin above 20
+	// degrees and stability for all values of N" in [2, 128].
+	for n := 2.0; n <= 128; n *= 2 {
+		s := System{Alpha: 0.0093, Beta: 0.0937, N: n, T: 40e-6}
+		if pm := s.PhaseMarginDeg(); pm <= 20 {
+			t.Errorf("N=%v: phase margin %.1f, want > 20", n, pm)
+		}
+	}
+}
+
+func TestFig6Anchors(t *testing.T) {
+	// Fig. 6: with the aggressive pair, N=2 has ~50 degrees of margin
+	// and N=10 is deeply unstable (~-50).
+	s2 := System{Alpha: 0.3, Beta: 3, N: 2, T: 40e-6}
+	if pm := s2.PhaseMarginDeg(); pm < 40 || pm > 60 {
+		t.Errorf("N=2 margin = %.1f, want ~50", pm)
+	}
+	s10 := System{Alpha: 0.3, Beta: 3, N: 10, T: 40e-6}
+	if pm := s10.PhaseMarginDeg(); pm > -40 {
+		t.Errorf("N=10 margin = %.1f, want strongly negative", pm)
+	}
+}
+
+func TestMoreFlowsErodeMargin(t *testing.T) {
+	// Fig. 7a: for fixed gains, large N erodes the phase margin (the
+	// open-loop gain grows with N, pushing the crossover into the
+	// delay-dominated region). The curve may rise slightly at small N
+	// while the controller zero still adds lead, but the margin at
+	// N=128 must sit far below the peak and below the N=2 value.
+	pm := func(n float64) float64 {
+		return System{Alpha: 0.075, Beta: 0.75, N: n, T: 40e-6}.PhaseMarginDeg()
+	}
+	if pm(128) >= pm(2)-20 {
+		t.Errorf("margin at N=128 (%.1f) not well below N=2 (%.1f)", pm(128), pm(2))
+	}
+	if pm(128) >= pm(32) {
+		t.Errorf("margin at N=128 (%.1f) not below N=32 (%.1f)", pm(128), pm(32))
+	}
+}
+
+func TestSmallerGainsStabilizeLargerN(t *testing.T) {
+	// Fig. 7a: each halving of the pair extends the stable N range.
+	pairs := PaperGainPairs()
+	var maxStable []float64
+	for _, p := range pairs {
+		stable := 0.0
+		for n := 2.0; n <= 128; n *= 2 {
+			s := System{Alpha: p.Alpha, Beta: p.Beta, N: n, T: 40e-6}
+			if s.PhaseMarginDeg() > 0 {
+				stable = n
+			} else {
+				break
+			}
+		}
+		maxStable = append(maxStable, stable)
+	}
+	for i := 1; i < len(maxStable); i++ {
+		if maxStable[i] < maxStable[i-1] {
+			t.Errorf("stable range shrank from pair %d to %d: %v", i-1, i, maxStable)
+		}
+	}
+	if maxStable[0] >= 16 {
+		t.Errorf("most aggressive pair stable to N=%v, expected small", maxStable[0])
+	}
+	if maxStable[len(maxStable)-1] < 64 {
+		t.Errorf("most conservative pair only stable to N=%v", maxStable[len(maxStable)-1])
+	}
+}
+
+func TestSmallerGainsSlowTheLoop(t *testing.T) {
+	// Fig. 7b: at fixed N, smaller gains yield lower loop bandwidth.
+	prev := math.Inf(1)
+	for _, p := range PaperGainPairs() {
+		s := System{Alpha: p.Alpha, Beta: p.Beta, N: 2, T: 40e-6}
+		bw := s.LoopBandwidthHz()
+		if bw >= prev {
+			t.Errorf("bandwidth not decreasing across pairs: %.0f >= %.0f", bw, prev)
+		}
+		prev = bw
+	}
+}
+
+func TestAutoTuneFlattensMarginAndBandwidth(t *testing.T) {
+	// §5.3: quantized auto-tuning holds margin and response roughly
+	// constant across N in the covered range (N <= 64 with 6 levels).
+	var margins, bws []float64
+	for n := 2.0; n <= 64; n *= 2 {
+		a, b, _ := AutoTuneGains(0.3, 3, n, 64)
+		s := System{Alpha: a, Beta: b, N: n, T: 40e-6}
+		margins = append(margins, s.PhaseMarginDeg())
+		bws = append(bws, s.LoopBandwidthHz())
+	}
+	for i := 1; i < len(margins); i++ {
+		if math.Abs(margins[i]-margins[0]) > 1 {
+			t.Errorf("auto-tuned margin varies: %v", margins)
+		}
+		if math.Abs(bws[i]-bws[0])/bws[0] > 0.01 {
+			t.Errorf("auto-tuned bandwidth varies: %v", bws)
+		}
+	}
+	if margins[0] < 40 {
+		t.Errorf("auto-tuned margin %.1f, want comfortably positive", margins[0])
+	}
+}
+
+func TestAutoTuneGainsLevels(t *testing.T) {
+	cases := []struct {
+		n     float64
+		level int
+	}{
+		{2, 2}, {3, 4}, {4, 4}, {8, 8}, {20, 32}, {64, 64}, {500, 64},
+	}
+	for _, c := range cases {
+		_, _, lvl := AutoTuneGains(0.3, 3, c.n, 64)
+		if lvl != c.level {
+			t.Errorf("N=%v: level = %d, want %d", c.n, lvl, c.level)
+		}
+	}
+	a, b, _ := AutoTuneGains(0.3, 3, 8, 64)
+	if a != 0.3/4 || b != 3.0/4 {
+		t.Errorf("gains at level 8 = %v/%v", a, b)
+	}
+}
+
+func TestCrossoverIsUnityGain(t *testing.T) {
+	s := System{Alpha: 0.3, Beta: 1.5, N: 10, T: 40e-6}
+	wc := s.Crossover()
+	if g := s.GainAt(wc); math.Abs(g-1) > 1e-6 {
+		t.Errorf("|G(jwc)| = %v, want 1", g)
+	}
+}
+
+// Property: |G(jw)| is strictly decreasing, which justifies the bisection
+// in Crossover.
+func TestGainMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw, nRaw uint8, w1, w2 float64) bool {
+		a := 0.001 + float64(aRaw)/255*0.5
+		b := 0.01 + float64(bRaw)/255*5
+		n := float64(nRaw%127) + 2
+		s := System{Alpha: a, Beta: b, N: n, T: 40e-6}
+		w1 = 1 + math.Abs(math.Mod(w1, 1e6))
+		w2 = 1 + math.Abs(math.Mod(w2, 1e6))
+		if w1 > w2 {
+			w1, w2 = w2, w1
+		}
+		if w2-w1 < 1e-9 {
+			return true
+		}
+		return s.GainAt(w1) >= s.GainAt(w2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPhaseComponents(t *testing.T) {
+	s := System{Alpha: 0.3, Beta: 3, N: 2, T: 40e-6}
+	// At very low frequency the double integrator dominates: phase -> -180.
+	if p := s.PhaseAt(1e-6); math.Abs(p+180) > 0.1 {
+		t.Errorf("low-frequency phase = %v, want ~-180", p)
+	}
+	// The zero can contribute at most +90; delay makes phase fall again.
+	if p := s.PhaseAt(1e7); p > -90 {
+		t.Errorf("high-frequency phase = %v, want below -90 (delay dominates)", p)
+	}
+}
+
+func TestDefaultKappa(t *testing.T) {
+	s := System{Alpha: 1, Beta: 1, N: 1, T: 1}
+	if got := s.K(); math.Abs(got-DefaultKappa) > 1e-9 {
+		t.Errorf("K with unit params = %v, want κ", got)
+	}
+	s.Kappa = 100
+	if got := s.K(); got != 100 {
+		t.Errorf("explicit κ ignored: %v", got)
+	}
+	if math.Abs(DefaultKappa-2083.333) > 0.01 {
+		t.Errorf("DefaultKappa = %v, want (10e6/8)/600", DefaultKappa)
+	}
+}
+
+func TestPaperGainPairs(t *testing.T) {
+	pairs := PaperGainPairs()
+	if len(pairs) != 6 {
+		t.Fatalf("got %d pairs, want 6", len(pairs))
+	}
+	if pairs[0].Alpha != 0.3 || pairs[0].Beta != 3 {
+		t.Errorf("first pair = %+v", pairs[0])
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].Alpha != pairs[i-1].Alpha/2 || pairs[i].Beta != pairs[i-1].Beta/2 {
+			t.Errorf("pair %d not halved: %+v", i, pairs[i])
+		}
+	}
+}
+
+func TestZ1Formula(t *testing.T) {
+	s := System{Alpha: 0.3, Beta: 3, N: 2, T: 40e-6}
+	want := 0.3 / ((3 + 0.15) * 40e-6)
+	if got := s.Z1(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Z1 = %v, want %v", got, want)
+	}
+}

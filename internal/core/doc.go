@@ -1,0 +1,22 @@
+// Package core implements the RoCC congestion-control algorithms from the
+// paper exactly as specified, independent of any particular dataplane:
+//
+//   - CP: the congestion-point fair-rate computation (Alg. 1) — a PI
+//     controller on the egress queue with two-level multiplicative
+//     decrease and quantized auto-tuning of the control parameters
+//     (§3.2, §5.3).
+//   - RP: the reaction-point rate limiter (Alg. 2) — the multi-CP CNP
+//     acceptance rule and exponential fast recovery (§3.5).
+//   - HostCP: the §3.6 variant in which the switch ships raw queue
+//     observations and the host replicates the fair-rate computation.
+//
+// The same code drives both the packet-level simulator (internal/roccnet)
+// and the real-socket testbed (internal/testbed), mirroring how the paper
+// evaluates one algorithm in OMNeT++ and in DPDK.
+//
+// Quantization follows §3.2 and Table 2: queue lengths are handled in
+// multiples of ΔQ bytes and rates in multiples of ΔF Mb/s. The fair rate
+// keeps fixed-point (fractional) precision internally, as the paper's
+// simulation model does, and is rounded to whole ΔF units only when
+// emitted in a CNP.
+package core

@@ -1,0 +1,108 @@
+package core
+
+import "fmt"
+
+// CPKey identifies a congestion point across the network, used by the RP's
+// CNP acceptance rule (Alg. 2 line 4).
+type CPKey struct {
+	Node int64
+	Port int
+}
+
+// NoCP is the zero CPKey, meaning "no CNP accepted yet".
+var NoCP = CPKey{}
+
+// RPConfig holds the reaction-point parameters.
+type RPConfig struct {
+	DeltaFMbps float64 // ΔF, must match the CPs' configuration
+	RmaxMbps   float64 // maximum send rate, usually the NIC link bandwidth
+}
+
+// Validate reports configuration errors.
+func (c RPConfig) Validate() error {
+	if c.DeltaFMbps <= 0 {
+		return fmt.Errorf("core: RP ΔF must be positive")
+	}
+	if c.RmaxMbps <= 0 {
+		return fmt.Errorf("core: RP Rmax must be positive")
+	}
+	return nil
+}
+
+// RP is the per-flow reaction point (Alg. 2): it tracks the current send
+// rate, accepts or rejects CNPs by the most-congested-CP rule, and doubles
+// the rate during fast recovery. Timer scheduling is the caller's job —
+// the simulator uses virtual-time events and the testbed real timers —
+// via ProcessCNP's resetTimer result and TimerExpired.
+type RP struct {
+	cfg RPConfig
+
+	rcur      float64 // current send rate in Mb/s
+	cpcur     CPKey   // CP that generated the last accepted CNP
+	installed bool    // rate limiter active
+
+	// Counters for instrumentation and tests.
+	CNPsAccepted int
+	CNPsIgnored  int
+	Recoveries   int
+}
+
+// NewRP returns an uninstalled reaction point (the flow transmits at Rmax
+// until the first CNP arrives, per §3.5).
+func NewRP(cfg RPConfig) *RP {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &RP{cfg: cfg, rcur: cfg.RmaxMbps}
+}
+
+// Installed reports whether the rate limiter is active.
+func (rp *RP) Installed() bool { return rp.installed }
+
+// RateMbps returns the current send rate; meaningful while Installed.
+func (rp *RP) RateMbps() float64 { return rp.rcur }
+
+// CurrentCP returns the congestion point of the last accepted CNP.
+func (rp *RP) CurrentCP() CPKey { return rp.cpcur }
+
+// ProcessCNP implements Process_CNP (Alg. 2 lines 1-7). rateUnits is the
+// fair rate from the CNP in ΔF units and cp identifies its origin. It
+// returns whether the CNP was accepted, in which case the caller must
+// (re)arm the fast-recovery timer.
+func (rp *RP) ProcessCNP(rateUnits int, cp CPKey) (accepted bool) {
+	rrcvd := float64(rateUnits) * rp.cfg.DeltaFMbps // Line 2
+	if !rp.installed {
+		// First CNP installs the rate limiter.
+		rp.installed = true
+		rp.rcur = rrcvd
+		rp.cpcur = cp
+		rp.CNPsAccepted++
+		return true
+	}
+	if rrcvd <= rp.rcur || cp == rp.cpcur { // Line 4
+		rp.rcur = rrcvd // Line 5
+		rp.cpcur = cp   // Line 6
+		rp.CNPsAccepted++
+		return true // Line 7: Reset_Timer
+	}
+	rp.CNPsIgnored++
+	return false
+}
+
+// TimerExpired implements Timer_Expired (Alg. 2 lines 8-13). It returns
+// uninstall=true when the rate limiter should be removed (the flow then
+// transmits unconstrained); otherwise the caller re-arms the timer.
+func (rp *RP) TimerExpired() (uninstall bool) {
+	if !rp.installed {
+		return true
+	}
+	if rp.rcur > rp.cfg.RmaxMbps { // Line 9
+		rp.installed = false // Line 10: remove the rate limiter
+		rp.rcur = rp.cfg.RmaxMbps
+		rp.cpcur = NoCP
+		return true
+	}
+	rp.rcur *= 2 // Line 12: exponential fast recovery
+	rp.Recoveries++
+	return false // Line 13: Reset_Timer
+}

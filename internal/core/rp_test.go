@@ -1,0 +1,202 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestRP() *RP {
+	return NewRP(RPConfig{DeltaFMbps: 10, RmaxMbps: 40000})
+}
+
+func TestRPConfigValidate(t *testing.T) {
+	if (RPConfig{DeltaFMbps: 0, RmaxMbps: 1}).Validate() == nil {
+		t.Error("zero ΔF accepted")
+	}
+	if (RPConfig{DeltaFMbps: 1, RmaxMbps: 0}).Validate() == nil {
+		t.Error("zero Rmax accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRP with invalid config did not panic")
+		}
+	}()
+	NewRP(RPConfig{})
+}
+
+func TestRPStartsUninstalled(t *testing.T) {
+	rp := newTestRP()
+	if rp.Installed() {
+		t.Error("new RP should be uninstalled")
+	}
+	if rp.RateMbps() != 40000 {
+		t.Errorf("initial rate = %v, want Rmax", rp.RateMbps())
+	}
+}
+
+func TestFirstCNPInstalls(t *testing.T) {
+	rp := newTestRP()
+	cp := CPKey{Node: 1}
+	if !rp.ProcessCNP(500, cp) {
+		t.Error("first CNP not accepted")
+	}
+	if !rp.Installed() || rp.RateMbps() != 5000 || rp.CurrentCP() != cp {
+		t.Errorf("state after first CNP: installed=%v rate=%v cp=%v",
+			rp.Installed(), rp.RateMbps(), rp.CurrentCP())
+	}
+}
+
+func TestAcceptLowerRateFromOtherCP(t *testing.T) {
+	rp := newTestRP()
+	cp1, cp2 := CPKey{Node: 1}, CPKey{Node: 2}
+	rp.ProcessCNP(500, cp1)
+	if !rp.ProcessCNP(300, cp2) {
+		t.Error("lower rate from a different CP must be accepted (Alg. 2 line 4)")
+	}
+	if rp.RateMbps() != 3000 || rp.CurrentCP() != cp2 {
+		t.Errorf("rate=%v cp=%v after accepting lower rate", rp.RateMbps(), rp.CurrentCP())
+	}
+}
+
+func TestRejectHigherRateFromOtherCP(t *testing.T) {
+	rp := newTestRP()
+	cp1, cp2 := CPKey{Node: 1}, CPKey{Node: 2}
+	rp.ProcessCNP(300, cp1)
+	if rp.ProcessCNP(500, cp2) {
+		t.Error("higher rate from a different CP must be ignored")
+	}
+	if rp.RateMbps() != 3000 || rp.CurrentCP() != cp1 {
+		t.Error("state changed by ignored CNP")
+	}
+	if rp.CNPsIgnored != 1 {
+		t.Errorf("CNPsIgnored = %d", rp.CNPsIgnored)
+	}
+}
+
+func TestAcceptHigherRateFromSameCP(t *testing.T) {
+	rp := newTestRP()
+	cp1 := CPKey{Node: 1}
+	rp.ProcessCNP(300, cp1)
+	if !rp.ProcessCNP(500, cp1) {
+		t.Error("same-CP CNP must always be accepted")
+	}
+	if rp.RateMbps() != 5000 {
+		t.Errorf("rate = %v, want 5000", rp.RateMbps())
+	}
+}
+
+func TestFastRecoveryDoubles(t *testing.T) {
+	rp := newTestRP()
+	rp.ProcessCNP(100, CPKey{Node: 1}) // 1000 Mb/s
+	for i, want := range []float64{2000, 4000, 8000, 16000, 32000} {
+		if rp.TimerExpired() {
+			t.Fatalf("step %d: uninstalled early", i)
+		}
+		if rp.RateMbps() != want {
+			t.Fatalf("step %d: rate = %v, want %v", i, rp.RateMbps(), want)
+		}
+	}
+	// 32000*2 = 64000 > Rmax: one more doubling then uninstall.
+	if rp.TimerExpired() {
+		t.Fatal("expected one more recovery step before uninstall")
+	}
+	if !rp.TimerExpired() {
+		t.Fatal("rate above Rmax must uninstall the limiter")
+	}
+	if rp.Installed() {
+		t.Error("still installed after uninstall")
+	}
+	if rp.RateMbps() != 40000 {
+		t.Errorf("rate after uninstall = %v, want Rmax", rp.RateMbps())
+	}
+	if rp.CurrentCP() != NoCP {
+		t.Error("CPcur not cleared on uninstall")
+	}
+}
+
+func TestTimerOnUninstalledRP(t *testing.T) {
+	rp := newTestRP()
+	if !rp.TimerExpired() {
+		t.Error("timer on uninstalled RP should report uninstall")
+	}
+}
+
+func TestReinstallAfterUninstall(t *testing.T) {
+	rp := newTestRP()
+	rp.ProcessCNP(4100, CPKey{Node: 1}) // above Rmax
+	rp.TimerExpired()                   // uninstalls immediately
+	if rp.Installed() {
+		t.Fatal("should be uninstalled")
+	}
+	if !rp.ProcessCNP(200, CPKey{Node: 2}) {
+		t.Error("CNP after uninstall must reinstall")
+	}
+	if rp.RateMbps() != 2000 {
+		t.Errorf("rate = %v", rp.RateMbps())
+	}
+}
+
+// Property: the accept rule guarantees the accepted rate never exceeds
+// the minimum of the most recent rates from the flow's current CP.
+func TestAcceptRuleNeverRaisesAcrossCPs(t *testing.T) {
+	f := func(events []uint16) bool {
+		rp := newTestRP()
+		for _, e := range events {
+			rate := int(e%1000) + 1
+			cp := CPKey{Node: int64(e % 3)}
+			before := rp.RateMbps()
+			sameCP := rp.Installed() && cp == rp.CurrentCP()
+			accepted := rp.ProcessCNP(rate, cp)
+			if accepted && !sameCP && rp.Installed() && float64(rate)*10 > before && before > 0 && rp.CNPsAccepted > 1 {
+				// A different CP may only lower the rate.
+				return false
+			}
+			_ = accepted
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHostCPMatchesSwitchCP(t *testing.T) {
+	// The §3.6 host-computed replica must reproduce the switch-side
+	// fair-rate sequence exactly when fed the same queue observations.
+	cfg := CPConfig40G()
+	swCP := NewCP(cfg)
+	host := NewHostCP(func(CPKey) CPConfig { return cfg })
+	key := CPKey{Node: 9, Port: 1}
+	queues := []int{0, 50000, 150000, 300000, 400000, 200000, 150000, 100000, 0, 0}
+	qold := 0
+	for _, q := range queues {
+		units := q / cfg.DeltaQBytes
+		want := swCP.Update(units * cfg.DeltaQBytes)
+		got := host.Compute(key, units, qold)
+		qold = units
+		if got != want {
+			t.Fatalf("q=%d: host=%d switch=%d", q, got, want)
+		}
+	}
+	if host.Replicas() != 1 {
+		t.Errorf("replicas = %d", host.Replicas())
+	}
+}
+
+func TestHostCPTracksPerCPState(t *testing.T) {
+	host := NewHostCP(nil) // default registry
+	a := host.Compute(CPKey{Node: 1}, 600, 0)
+	b := host.Compute(CPKey{Node: 2}, 0, 0)
+	if host.Replicas() != 2 {
+		t.Fatalf("replicas = %d, want 2", host.Replicas())
+	}
+	// Different queue histories must give independent rates.
+	if a == b {
+		t.Log("rates equal by coincidence; advancing")
+		a = host.Compute(CPKey{Node: 1}, 600, 600)
+		b = host.Compute(CPKey{Node: 2}, 0, 0)
+		if a == b {
+			t.Error("per-CP replicas do not evolve independently")
+		}
+	}
+}

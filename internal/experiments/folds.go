@@ -1,0 +1,98 @@
+package experiments
+
+import "rocc/internal/stats"
+
+// FoldRow compares per-bin average FCT between a variant run and the
+// lossless baseline (the "fold increase" annotations of Figs. 18 and 20).
+type FoldRow struct {
+	UpperBytes int
+	BaseAvgMs  float64 // PFC enabled, limited buffer
+	VarAvgMs   float64 // the variant (unlimited buffer or lossy)
+	Fold       float64 // VarAvg / BaseAvg
+}
+
+// FoldResult is one protocol's Fig. 18 / Fig. 20 outcome.
+type FoldResult struct {
+	Protocol   Protocol
+	Rows       []FoldRow
+	Base       FCTResult
+	Variant    FCTResult
+	RetxShare  float64 // retransmitted bytes / delivered bytes (Fig. 20)
+	BufferFold float64 // variant avg buffer / base avg buffer (Fig. 18)
+}
+
+// RunFold runs the same workload under Lossless and under the given
+// variant mode, returning per-bin fold increases. Fig. 18 uses
+// mode=Unlimited, Fig. 20 mode=Lossy.
+func RunFold(cfg FCTConfig, mode BufferMode) FoldResult {
+	cfg.fill()
+	base := cfg
+	base.Mode = Lossless
+	variant := cfg
+	variant.Mode = mode
+
+	baseRes := RunFCT(base)
+	varRes := RunFCT(variant)
+
+	res := FoldResult{Protocol: cfg.Protocol, Base: baseRes, Variant: varRes}
+	for i, b := range baseRes.Bins {
+		v := varRes.Bins[i]
+		row := FoldRow{UpperBytes: b.UpperBytes, BaseAvgMs: b.AvgMs, VarAvgMs: v.AvgMs}
+		if b.AvgMs > 0 && b.Count > 0 && v.Count > 0 {
+			row.Fold = v.AvgMs / b.AvgMs
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if varRes.TotalBytes > 0 {
+		res.RetxShare = float64(varRes.RetxBytes) / float64(varRes.TotalBytes)
+	}
+	if baseRes.AvgBufferKB > 0 {
+		res.BufferFold = varRes.AvgBufferKB / baseRes.AvgBufferKB
+	}
+	return res
+}
+
+// Table3Row is one protocol's flow-level rate allocation (Table 3).
+type Table3Row struct {
+	Protocol Protocol
+	MeanMbps float64
+	StdMbps  float64
+}
+
+// Table3FromResult extracts the Table 3 row from an FCT run.
+func Table3FromResult(r FCTResult) Table3Row {
+	return Table3Row{Protocol: r.Config.Protocol, MeanMbps: r.RateMean, StdMbps: r.RateStd}
+}
+
+// MergeBins averages per-bin statistics across repetitions and reports
+// the 95% CI of the per-bin average FCT, as the paper's error bars do.
+func MergeBins(runs [][]stats.BinStat) ([]stats.BinStat, []float64) {
+	if len(runs) == 0 {
+		return nil, nil
+	}
+	nBins := len(runs[0])
+	merged := make([]stats.BinStat, nBins)
+	ci := make([]float64, nBins)
+	for b := 0; b < nBins; b++ {
+		var avgs, p90s, p99s []float64
+		count := 0
+		for _, run := range runs {
+			if run[b].Count == 0 {
+				continue
+			}
+			count += run[b].Count
+			avgs = append(avgs, run[b].AvgMs)
+			p90s = append(p90s, run[b].P90Ms)
+			p99s = append(p99s, run[b].P99Ms)
+		}
+		merged[b] = stats.BinStat{
+			UpperBytes: runs[0][b].UpperBytes,
+			Count:      count,
+			AvgMs:      stats.Mean(avgs),
+			P90Ms:      stats.Mean(p90s),
+			P99Ms:      stats.Mean(p99s),
+		}
+		ci[b] = stats.CI95(avgs)
+	}
+	return merged, ci
+}

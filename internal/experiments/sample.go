@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+	"rocc/internal/stats"
+)
+
+// Sampler records time series from the running simulation on a fixed
+// period (100 µs unless overridden).
+type Sampler struct {
+	engine *sim.Engine
+	period sim.Time
+	tick   *sim.Ticker
+	fns    []func(now sim.Time)
+}
+
+// NewSampler starts a periodic sampler.
+func NewSampler(engine *sim.Engine, period sim.Time) *Sampler {
+	if period == 0 {
+		period = 100 * sim.Microsecond
+	}
+	s := &Sampler{engine: engine, period: period}
+	s.tick = engine.NewTicker(period, func() {
+		now := engine.Now()
+		for _, fn := range s.fns {
+			fn(now)
+		}
+	})
+	return s
+}
+
+// Stop halts sampling.
+func (s *Sampler) Stop() { s.tick.Stop() }
+
+// Queue records a port's data-class backlog in KB.
+func (s *Sampler) Queue(name string, port *netsim.Port) *stats.Series {
+	series := &stats.Series{Name: name}
+	s.fns = append(s.fns, func(now sim.Time) {
+		series.Add(now.Seconds(), float64(port.DataQueueBytes())/float64(netsim.KB))
+	})
+	return series
+}
+
+// Value records an arbitrary gauge.
+func (s *Sampler) Value(name string, fn func() float64) *stats.Series {
+	series := &stats.Series{Name: name}
+	s.fns = append(s.fns, func(now sim.Time) {
+		series.Add(now.Seconds(), fn())
+	})
+	return series
+}
+
+// Throughput records the goodput of a flow in Gb/s, differentiating the
+// delivered-bytes counter between samples.
+func (s *Sampler) Throughput(name string, flow *netsim.Flow) *stats.Series {
+	series := &stats.Series{Name: name}
+	var last int64
+	s.fns = append(s.fns, func(now sim.Time) {
+		cur := flow.DeliveredBytes()
+		gbps := float64(cur-last) * 8 / s.period.Seconds() / 1e9
+		last = cur
+		series.Add(now.Seconds(), gbps)
+	})
+	return series
+}
+
+// PortThroughput records a port's transmitted data rate in Gb/s.
+func (s *Sampler) PortThroughput(name string, port *netsim.Port) *stats.Series {
+	series := &stats.Series{Name: name}
+	var last uint64
+	s.fns = append(s.fns, func(now sim.Time) {
+		cur := port.TxDataBytes
+		gbps := float64(cur-last) * 8 / s.period.Seconds() / 1e9
+		last = cur
+		series.Add(now.Seconds(), gbps)
+	})
+	return series
+}

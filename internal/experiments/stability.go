@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"math"
+
+	"rocc/internal/control"
+)
+
+// Fig5Point is one cell of the phase-margin grid over (α, β) (Fig. 5;
+// T = 40 µs, N = 2).
+type Fig5Point struct {
+	Alpha, Beta float64
+	MarginDeg   float64
+}
+
+// RunFig5 evaluates the phase margin over a log-spaced (α, β) grid.
+func RunFig5() []Fig5Point {
+	alphas := logSpace(0.001, 1, 10)
+	betas := logSpace(0.01, 10, 10)
+	var out []Fig5Point
+	for _, a := range alphas {
+		for _, b := range betas {
+			s := control.System{Alpha: a, Beta: b, N: 2, T: 40e-6}
+			out = append(out, Fig5Point{Alpha: a, Beta: b, MarginDeg: s.PhaseMarginDeg()})
+		}
+	}
+	return out
+}
+
+func logSpace(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	ratio := hi / lo
+	for i := range out {
+		out[i] = lo * math.Pow(ratio, float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// Fig6Row compares the stability margin for two flow counts at fixed
+// gains (Fig. 6): N = 2 is comfortably stable, N = 10 is unstable.
+type Fig6Row struct {
+	N           float64
+	MarginDeg   float64
+	CrossoverHz float64
+}
+
+// RunFig6 reproduces Fig. 6 with the paper's α:β = 0.3:3 point.
+func RunFig6() []Fig6Row {
+	var out []Fig6Row
+	for _, n := range []float64{2, 10} {
+		s := control.System{Alpha: 0.3, Beta: 3, N: n, T: 40e-6}
+		out = append(out, Fig6Row{N: n, MarginDeg: s.PhaseMarginDeg(), CrossoverHz: s.LoopBandwidthHz()})
+	}
+	return out
+}
+
+// Fig7Row is one (pair, N) point of Figs. 7a/7b.
+type Fig7Row struct {
+	Pair        control.GainPair
+	N           float64
+	MarginDeg   float64
+	BandwidthHz float64
+}
+
+// RunFig7 evaluates phase margin (7a) and loop bandwidth (7b) as a
+// function of N for the six α:β pairs.
+func RunFig7() []Fig7Row {
+	var out []Fig7Row
+	for _, pair := range control.PaperGainPairs() {
+		for n := 2.0; n <= 128; n *= 2 {
+			s := control.System{Alpha: pair.Alpha, Beta: pair.Beta, N: n, T: 40e-6}
+			out = append(out, Fig7Row{
+				Pair:        pair,
+				N:           n,
+				MarginDeg:   s.PhaseMarginDeg(),
+				BandwidthHz: s.LoopBandwidthHz(),
+			})
+		}
+	}
+	return out
+}
+
+// AutoTuneRow shows the §5.3 result: with quantized auto-tuning the
+// margin and bandwidth stay flat across N.
+type AutoTuneRow struct {
+	N           float64
+	Level       int
+	MarginDeg   float64
+	BandwidthHz float64
+}
+
+// RunAutoTune evaluates the auto-tuned loop across N (the §5.3 claim).
+func RunAutoTune(alphaTilde, betaTilde float64) []AutoTuneRow {
+	var out []AutoTuneRow
+	for n := 2.0; n <= 128; n *= 2 {
+		a, b, lvl := control.AutoTuneGains(alphaTilde, betaTilde, n, 64)
+		s := control.System{Alpha: a, Beta: b, N: n, T: 40e-6}
+		out = append(out, AutoTuneRow{
+			N:           n,
+			Level:       lvl,
+			MarginDeg:   s.PhaseMarginDeg(),
+			BandwidthHz: s.LoopBandwidthHz(),
+		})
+	}
+	return out
+}

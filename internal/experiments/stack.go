@@ -1,0 +1,220 @@
+// Package experiments contains one runner per table and figure of the
+// RoCC paper's evaluation (§6 and App. A). Each runner builds the
+// topology, wires the protocol under test, drives the workload, and
+// returns structured rows that cmd/roccsim and the root benchmarks print.
+package experiments
+
+import (
+	"fmt"
+
+	"rocc/internal/dcqcn"
+	"rocc/internal/dcqcnpi"
+	"rocc/internal/dctcp"
+	"rocc/internal/hpcc"
+	"rocc/internal/netsim"
+	"rocc/internal/qcn"
+	"rocc/internal/roccnet"
+	"rocc/internal/sim"
+	"rocc/internal/timely"
+)
+
+// Protocol names a congestion-control scheme under test.
+type Protocol string
+
+// The protocols the paper evaluates.
+const (
+	ProtoRoCC    Protocol = "RoCC"
+	ProtoDCQCN   Protocol = "DCQCN"
+	ProtoDCQCNPI Protocol = "DCQCN+PI"
+	ProtoHPCC    Protocol = "HPCC"
+	ProtoTIMELY  Protocol = "TIMELY"
+	ProtoQCN     Protocol = "QCN"
+	// ProtoDCTCP is the Table 1 lineage baseline (not in the paper's
+	// quantitative evaluation; provided for completeness).
+	ProtoDCTCP Protocol = "DCTCP"
+)
+
+// ComparisonProtocols is the trio of the large-scale comparisons
+// (Figs. 12, 14-18, Table 3).
+func ComparisonProtocols() []Protocol {
+	return []Protocol{ProtoDCQCN, ProtoHPCC, ProtoRoCC}
+}
+
+// MicroProtocols is the five-way comparison of Fig. 11 plus RoCC.
+func MicroProtocols() []Protocol {
+	return []Protocol{ProtoTIMELY, ProtoQCN, ProtoDCQCN, ProtoDCQCNPI, ProtoHPCC, ProtoRoCC}
+}
+
+// AllProtocols adds the Table 1 lineage baseline (DCTCP) to the paper's
+// evaluated set.
+func AllProtocols() []Protocol {
+	return append(MicroProtocols(), ProtoDCTCP)
+}
+
+// ParseProtocol resolves a protocol by name.
+func ParseProtocol(name string) (Protocol, error) {
+	for _, p := range AllProtocols() {
+		if string(p) == name {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("experiments: unknown protocol %q", name)
+}
+
+// Stack wires one protocol into a built network: switch-side elements per
+// egress port, receiver hooks per destination host, and a flow-controller
+// factory for sources.
+type Stack struct {
+	Engine  *sim.Engine
+	Net     *netsim.Network
+	Proto   Protocol
+	BaseRTT sim.Time // HPCC's T parameter; also used for TIMELY scaling
+
+	rand *sim.Rand
+
+	// RoCCOpts overrides the default RoCC CP options (ablation hooks).
+	RoCCOpts roccnet.CPOptions
+	// RoCCRP overrides the default RoCC RP options.
+	RoCCRP roccnet.RPOptions
+
+	// CPs collects attached RoCC congestion points for instrumentation.
+	CPs map[*netsim.Port]*roccnet.CP
+}
+
+// NewStack builds a protocol stack for the network.
+func NewStack(net *netsim.Network, proto Protocol, baseRTT sim.Time) *Stack {
+	if baseRTT == 0 {
+		baseRTT = 10 * sim.Microsecond
+	}
+	return &Stack{
+		Engine:  net.Engine,
+		Net:     net,
+		Proto:   proto,
+		BaseRTT: baseRTT,
+		rand:    net.Rand.Split(),
+		CPs:     make(map[*netsim.Port]*roccnet.CP),
+	}
+}
+
+// EnablePort attaches the protocol's switch-side element to one egress
+// port. For TIMELY this is a no-op (the switch takes no action).
+func (s *Stack) EnablePort(port *netsim.Port) {
+	sw, ok := port.Owner().(*netsim.Switch)
+	if !ok {
+		panic("experiments: EnablePort needs a switch egress port")
+	}
+	gbps := port.LinkRate.Gbps()
+	switch s.Proto {
+	case ProtoRoCC:
+		s.CPs[port] = roccnet.Attach(s.Net, sw, port, s.RoCCOpts)
+	case ProtoDCQCN:
+		port.CC = dcqcn.NewMarker(dcqcn.DefaultConfig(gbps), s.rand)
+	case ProtoDCQCNPI:
+		dcqcnpi.Attach(s.Net, port, dcqcnpi.DefaultConfig(gbps), s.rand)
+	case ProtoHPCC:
+		port.CC = hpcc.NewStamper(port)
+	case ProtoQCN:
+		qcn.AttachCP(s.Net, sw, port, qcn.DefaultConfig(gbps))
+	case ProtoDCTCP:
+		port.CC = dctcp.NewMarker(dctcp.DefaultConfig(gbps, s.BaseRTT))
+	case ProtoTIMELY:
+		// RTT-only: no switch involvement.
+	default:
+		panic("experiments: unknown protocol " + string(s.Proto))
+	}
+}
+
+// EnablePorts attaches the switch-side element to many ports.
+func (s *Stack) EnablePorts(ports ...*netsim.Port) {
+	for _, p := range ports {
+		s.EnablePort(p)
+	}
+}
+
+// EnableAllSwitchPorts attaches the protocol on every switch egress port.
+func (s *Stack) EnableAllSwitchPorts() {
+	for _, sw := range s.Net.Switches() {
+		for _, p := range sw.Ports() {
+			s.EnablePort(p)
+		}
+	}
+}
+
+// AttachReceiver installs the protocol's destination-side hook on a host.
+func (s *Stack) AttachReceiver(h *netsim.Host) {
+	switch s.Proto {
+	case ProtoDCQCN, ProtoDCQCNPI:
+		gbps := h.NIC().LinkRate.Gbps()
+		h.Receiver = dcqcn.NewReceiver(dcqcn.DefaultConfig(gbps), h)
+	case ProtoDCTCP:
+		h.Receiver = dctcp.NewReceiver(h)
+	default:
+		// RoCC: CNPs come from switches. HPCC/TIMELY: the flow layer's
+		// ACK echoes carry what the sender needs. QCN: layer-2 feedback.
+	}
+}
+
+// FlowCC builds a per-flow congestion controller for a source host.
+func (s *Stack) FlowCC(src *netsim.Host) netsim.FlowCC {
+	gbps := src.NIC().LinkRate.Gbps()
+	switch s.Proto {
+	case ProtoRoCC:
+		return roccnet.NewFlowCC(s.Engine, src, s.RoCCRP)
+	case ProtoDCQCN, ProtoDCQCNPI:
+		return dcqcn.NewFlowCC(s.Engine, src, dcqcn.DefaultConfig(gbps))
+	case ProtoHPCC:
+		return hpcc.NewFlowCC(src, hpcc.DefaultConfig(gbps, s.BaseRTT))
+	case ProtoTIMELY:
+		return timely.NewFlowCC(src, timely.DefaultConfig(gbps))
+	case ProtoQCN:
+		return qcn.NewFlowCC(s.Engine, src, qcn.DefaultConfig(gbps))
+	case ProtoDCTCP:
+		return dctcp.NewFlowCC(src, dctcp.DefaultConfig(gbps, s.BaseRTT))
+	}
+	panic("experiments: unknown protocol " + string(s.Proto))
+}
+
+// AckEvery returns the flow ACK cadence the protocol needs: HPCC requires
+// per-packet INT echoes, TIMELY periodic RTT samples, the rest none.
+func (s *Stack) AckEvery() int {
+	switch s.Proto {
+	case ProtoHPCC, ProtoDCTCP:
+		return 1
+	case ProtoTIMELY:
+		return timely.DefaultConfig(40).AckEvery
+	}
+	return 0
+}
+
+// INTOverheadBytes is the per-data-packet wire cost of HPCC's telemetry
+// (the paper cites 42 B of INT for a 5-hop path).
+const INTOverheadBytes = 42
+
+// extraHeader returns the per-packet overhead the protocol imposes.
+func (s *Stack) extraHeader() int {
+	if s.Proto == ProtoHPCC {
+		return INTOverheadBytes
+	}
+	return 0
+}
+
+// StartFlow launches a flow with the stack's controller and ACK policy.
+func (s *Stack) StartFlow(src, dst *netsim.Host, size int64, maxRate netsim.Rate) *netsim.Flow {
+	return s.Net.StartFlow(src, dst, netsim.FlowConfig{
+		Size:        size,
+		MaxRate:     maxRate,
+		CC:          s.FlowCC(src),
+		AckEvery:    s.AckEvery(),
+		ExtraHeader: s.extraHeader(),
+	})
+}
+
+// StartReliableFlow launches a go-back-N flow (App. A.2's lossy runs).
+func (s *Stack) StartReliableFlow(src, dst *netsim.Host, size int64) *netsim.Flow {
+	return s.Net.StartFlow(src, dst, netsim.FlowConfig{
+		Size:        size,
+		CC:          s.FlowCC(src),
+		Reliable:    true,
+		ExtraHeader: s.extraHeader(),
+	})
+}

@@ -1,0 +1,91 @@
+// Package export writes experiment outputs as CSV so the paper's figures
+// can be regenerated with external plotting tools (gnuplot, matplotlib).
+package export
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rocc/internal/stats"
+)
+
+// Series writes one or more time series as CSV: a shared "t" column (the
+// union is not merged — series must share sampling instants, as all
+// Sampler-produced series do) followed by one column per series.
+func Series(w io.Writer, series ...*stats.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("export: no series")
+	}
+	n := len(series[0].Points)
+	for _, s := range series[1:] {
+		if len(s.Points) != n {
+			return fmt.Errorf("export: series %q has %d points, want %d (sample together)",
+				s.Name, len(s.Points), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"t"}
+	for _, s := range series {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for i := 0; i < n; i++ {
+		row[0] = strconv.FormatFloat(series[0].Points[i].T, 'g', -1, 64)
+		for j, s := range series {
+			row[j+1] = strconv.FormatFloat(s.Points[i].V, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Bins writes per-size-bin FCT statistics (Figs. 14-16 rows) as CSV.
+func Bins(w io.Writer, protocol string, bins []stats.BinStat) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"protocol", "bin_bytes", "count", "avg_ms", "p90_ms", "p99_ms"}); err != nil {
+		return err
+	}
+	for _, b := range bins {
+		err := cw.Write([]string{
+			protocol,
+			strconv.Itoa(b.UpperBytes),
+			strconv.Itoa(b.Count),
+			strconv.FormatFloat(b.AvgMs, 'g', -1, 64),
+			strconv.FormatFloat(b.P90Ms, 'g', -1, 64),
+			strconv.FormatFloat(b.P99Ms, 'g', -1, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Samples writes raw FCT samples (size, fct seconds, rate bits/s) as CSV.
+func Samples(w io.Writer, rec *stats.FCTRecorder) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"size_bytes", "fct_s", "rate_bps"}); err != nil {
+		return err
+	}
+	for _, s := range rec.Samples {
+		err := cw.Write([]string{
+			strconv.Itoa(s.Size),
+			strconv.FormatFloat(s.Seconds, 'g', -1, 64),
+			strconv.FormatFloat(s.Rate, 'g', -1, 64),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

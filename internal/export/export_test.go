@@ -1,0 +1,73 @@
+package export
+
+import (
+	"strings"
+	"testing"
+
+	"rocc/internal/stats"
+)
+
+func TestSeriesCSV(t *testing.T) {
+	a := &stats.Series{Name: "queue"}
+	b := &stats.Series{Name: "rate"}
+	for i := 0; i < 3; i++ {
+		a.Add(float64(i), float64(10*i))
+		b.Add(float64(i), float64(i))
+	}
+	var sb strings.Builder
+	if err := Series(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "t,queue,rate" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 4 {
+		t.Errorf("rows = %d", len(lines))
+	}
+	if lines[2] != "1,10,1" {
+		t.Errorf("row = %q", lines[2])
+	}
+}
+
+func TestSeriesCSVMismatch(t *testing.T) {
+	a := &stats.Series{Name: "a"}
+	a.Add(0, 1)
+	b := &stats.Series{Name: "b"}
+	var sb strings.Builder
+	if err := Series(&sb, a, b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := Series(&sb); err == nil {
+		t.Error("empty call accepted")
+	}
+}
+
+func TestBinsCSV(t *testing.T) {
+	bins := []stats.BinStat{
+		{UpperBytes: 1000, Count: 5, AvgMs: 0.5, P90Ms: 0.9, P99Ms: 1.2},
+	}
+	var sb strings.Builder
+	if err := Bins(&sb, "RoCC", bins); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "protocol,bin_bytes,count,avg_ms,p90_ms,p99_ms") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(out, "RoCC,1000,5,0.5,0.9,1.2") {
+		t.Errorf("row missing: %q", out)
+	}
+}
+
+func TestSamplesCSV(t *testing.T) {
+	var rec stats.FCTRecorder
+	rec.Record(1000, 0.001)
+	var sb strings.Builder
+	if err := Samples(&sb, &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "1000,0.001,8e+06") {
+		t.Errorf("sample row wrong: %q", sb.String())
+	}
+}

@@ -1,0 +1,78 @@
+package flowtable
+
+import "rocc/internal/sim"
+
+// AFDTable is §3.4 option 3: the shadow-buffer sampling scheme of AFD
+// (Pan et al., "Approximate Fairness through Differential Dropping"). One
+// in every sampleBytes bytes of arriving traffic deposits its flow id into
+// a fixed-size shadow buffer ring; a flow's presence in the shadow buffer
+// approximates its arrival-rate share, so heavy (elephant) flows dominate
+// the feedback recipients while mice are rarely sampled.
+type AFDTable struct {
+	sampleBytes int
+	shadow      []FlowID // ring buffer of sampled flow ids
+	next        int
+	filled      bool
+	acc         int // bytes since last sample
+}
+
+// NewAFDTable builds an AFD shadow buffer with the given sampling period
+// in bytes and shadow-buffer size in entries.
+func NewAFDTable(sampleBytes, shadowSize int) *AFDTable {
+	if sampleBytes < 1 {
+		sampleBytes = 1
+	}
+	if shadowSize < 1 {
+		shadowSize = 1
+	}
+	return &AFDTable{sampleBytes: sampleBytes, shadow: make([]FlowID, shadowSize)}
+}
+
+// OnEnqueue implements Table: deterministic byte-count sampling.
+func (t *AFDTable) OnEnqueue(now sim.Time, flow FlowID, bytes int) {
+	t.acc += bytes
+	for t.acc >= t.sampleBytes {
+		t.acc -= t.sampleBytes
+		t.shadow[t.next] = flow
+		t.next++
+		if t.next == len(t.shadow) {
+			t.next = 0
+			t.filled = true
+		}
+	}
+}
+
+// OnDequeue implements Table.
+func (t *AFDTable) OnDequeue(now sim.Time, flow FlowID, bytes int) {}
+
+// Flows implements Table: the distinct flows currently in the shadow
+// buffer, in ring order.
+func (t *AFDTable) Flows(now sim.Time, dst []FlowID) []FlowID {
+	seen := make(map[FlowID]struct{}, len(t.shadow))
+	n := t.next
+	if t.filled {
+		n = len(t.shadow)
+	}
+	for i := 0; i < n; i++ {
+		f := t.shadow[i]
+		if _, ok := seen[f]; ok {
+			continue
+		}
+		seen[f] = struct{}{}
+		dst = append(dst, f)
+	}
+	return dst
+}
+
+// Len implements Table.
+func (t *AFDTable) Len() int {
+	seen := make(map[FlowID]struct{}, len(t.shadow))
+	n := t.next
+	if t.filled {
+		n = len(t.shadow)
+	}
+	for i := 0; i < n; i++ {
+		seen[t.shadow[i]] = struct{}{}
+	}
+	return len(seen)
+}

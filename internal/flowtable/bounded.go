@@ -1,0 +1,86 @@
+package flowtable
+
+import "rocc/internal/sim"
+
+// BoundedTable is §3.4 option 2: because RoCC's fair rate is bounded below
+// by Fmin, at most Fmax/Fmin flows can share a link, which bounds the
+// table size. Entries are refreshed on every packet and evicted by age.
+type BoundedTable struct {
+	capacity int
+	ageLimit sim.Time
+
+	set      orderedSet
+	lastSeen map[FlowID]sim.Time
+
+	Evictions int
+}
+
+// NewBoundedTable builds a table with the given capacity (typically
+// Fmax/Fmin) and age limit for idle entries.
+func NewBoundedTable(capacity int, ageLimit sim.Time) *BoundedTable {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if ageLimit <= 0 {
+		ageLimit = sim.Millisecond
+	}
+	return &BoundedTable{
+		capacity: capacity,
+		ageLimit: ageLimit,
+		set:      newOrderedSet(),
+		lastSeen: make(map[FlowID]sim.Time),
+	}
+}
+
+// OnEnqueue implements Table.
+func (t *BoundedTable) OnEnqueue(now sim.Time, flow FlowID, bytes int) {
+	if t.set.has(flow) {
+		t.lastSeen[flow] = now
+		return
+	}
+	if t.set.len() >= t.capacity {
+		t.evictOldest()
+	}
+	if t.set.len() < t.capacity {
+		t.set.add(flow)
+		t.lastSeen[flow] = now
+	}
+}
+
+// OnDequeue implements Table. Age-based eviction ignores departures.
+func (t *BoundedTable) OnDequeue(now sim.Time, flow FlowID, bytes int) {}
+
+func (t *BoundedTable) evictOldest() {
+	var victim FlowID
+	var oldest sim.Time
+	first := true
+	for _, f := range t.set.order {
+		if first || t.lastSeen[f] < oldest {
+			victim, oldest = f, t.lastSeen[f]
+			first = false
+		}
+	}
+	if !first {
+		t.set.remove(victim)
+		delete(t.lastSeen, victim)
+		t.Evictions++
+	}
+}
+
+// Flows implements Table, expiring idle entries first.
+func (t *BoundedTable) Flows(now sim.Time, dst []FlowID) []FlowID {
+	for i := 0; i < len(t.set.order); {
+		f := t.set.order[i]
+		if now-t.lastSeen[f] > t.ageLimit {
+			t.set.remove(f)
+			delete(t.lastSeen, f)
+			t.Evictions++
+			continue // remove swapped another entry into position i
+		}
+		i++
+	}
+	return append(dst, t.set.order...)
+}
+
+// Len implements Table.
+func (t *BoundedTable) Len() int { return t.set.len() }

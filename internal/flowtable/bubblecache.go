@@ -1,0 +1,112 @@
+package flowtable
+
+import "rocc/internal/sim"
+
+// BubbleCache is §3.4 option 5 (Ros-Giralt et al., ISNCC'18): a two-stage
+// sampled cache. Sampled flows first land in a small front stage; a flow
+// is promoted to the main stage — "bubbles up" — once it has been sampled
+// promoteAfter times within the front stage, displacing the coldest main
+// entry. Only main-stage flows (established elephants) receive feedback.
+type BubbleCache struct {
+	prob         float64
+	promoteAfter int
+	rand         randSource
+
+	front      orderedSet
+	frontHits  map[FlowID]int
+	frontCap   int
+	main       orderedSet
+	mainHits   map[FlowID]int
+	mainCap    int
+	Promotions int
+}
+
+// NewBubbleCache builds a bubble cache with the given sampling
+// probability, front/main capacities and promotion threshold.
+func NewBubbleCache(prob float64, frontCap, mainCap, promoteAfter int, rand randSource) *BubbleCache {
+	if prob <= 0 || prob > 1 {
+		prob = 0.1
+	}
+	if frontCap < 1 {
+		frontCap = 1
+	}
+	if mainCap < 1 {
+		mainCap = 1
+	}
+	if promoteAfter < 1 {
+		promoteAfter = 2
+	}
+	return &BubbleCache{
+		prob:         prob,
+		promoteAfter: promoteAfter,
+		rand:         rand,
+		front:        newOrderedSet(),
+		frontHits:    make(map[FlowID]int),
+		frontCap:     frontCap,
+		main:         newOrderedSet(),
+		mainHits:     make(map[FlowID]int),
+		mainCap:      mainCap,
+	}
+}
+
+// OnEnqueue implements Table.
+func (b *BubbleCache) OnEnqueue(now sim.Time, flow FlowID, bytes int) {
+	if b.rand.Float64() >= b.prob {
+		return
+	}
+	if b.main.has(flow) {
+		b.mainHits[flow]++
+		return
+	}
+	if !b.front.has(flow) {
+		if b.front.len() >= b.frontCap {
+			// Evict the coldest front entry to make room.
+			b.evictColdest(&b.front, b.frontHits)
+		}
+		b.front.add(flow)
+		b.frontHits[flow] = 0
+	}
+	b.frontHits[flow]++
+	if b.frontHits[flow] >= b.promoteAfter {
+		b.promote(flow)
+	}
+}
+
+func (b *BubbleCache) promote(flow FlowID) {
+	b.front.remove(flow)
+	delete(b.frontHits, flow)
+	if b.main.len() >= b.mainCap {
+		b.evictColdest(&b.main, b.mainHits)
+	}
+	b.main.add(flow)
+	b.mainHits[flow] = 1
+	b.Promotions++
+}
+
+func (b *BubbleCache) evictColdest(set *orderedSet, hits map[FlowID]int) {
+	if set.len() == 0 {
+		return
+	}
+	victim := set.order[0]
+	for _, f := range set.order[1:] {
+		if hits[f] < hits[victim] {
+			victim = f
+		}
+	}
+	set.remove(victim)
+	delete(hits, victim)
+}
+
+// OnDequeue implements Table.
+func (b *BubbleCache) OnDequeue(now sim.Time, flow FlowID, bytes int) {}
+
+// Flows implements Table: main-stage flows only.
+func (b *BubbleCache) Flows(now sim.Time, dst []FlowID) []FlowID {
+	return append(dst, b.main.order...)
+}
+
+// Len implements Table.
+func (b *BubbleCache) Len() int { return b.main.len() }
+
+// FrontLen returns the front-stage occupancy (for tests).
+func (b *BubbleCache) FrontLen() int { return b.front.len() }

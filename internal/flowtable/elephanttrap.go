@@ -1,0 +1,92 @@
+package flowtable
+
+import "rocc/internal/sim"
+
+// randSource is the minimal randomness the sampled tables need; satisfied
+// by *sim.Rand.
+type randSource interface {
+	Float64() float64
+}
+
+// ElephantTrap is §3.4 option 4 (Lu et al., HOTI'07): packets are sampled
+// with a fixed probability; sampled flows already in the table increment a
+// frequency counter, new flows claim a slot whose counter has decayed to
+// zero (least-frequently-used eviction). Persistent heavy flows accumulate
+// high counts and stay; mice age out.
+type ElephantTrap struct {
+	prob     float64
+	capacity int
+	rand     randSource
+
+	set    orderedSet
+	counts map[FlowID]int
+
+	Evictions int
+}
+
+// NewElephantTrap builds a trap with the given packet sampling probability
+// and table capacity.
+func NewElephantTrap(prob float64, capacity int, rand randSource) *ElephantTrap {
+	if prob <= 0 || prob > 1 {
+		prob = 0.1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ElephantTrap{
+		prob:     prob,
+		capacity: capacity,
+		rand:     rand,
+		set:      newOrderedSet(),
+		counts:   make(map[FlowID]int),
+	}
+}
+
+// OnEnqueue implements Table.
+func (t *ElephantTrap) OnEnqueue(now sim.Time, flow FlowID, bytes int) {
+	if t.rand.Float64() >= t.prob {
+		return
+	}
+	if t.set.has(flow) {
+		t.counts[flow]++
+		return
+	}
+	if t.set.len() < t.capacity {
+		t.set.add(flow)
+		t.counts[flow] = 1
+		return
+	}
+	// Decay all counters; replace the first flow that hits zero (LFU).
+	var victim FlowID
+	found := false
+	for _, f := range t.set.order {
+		if t.counts[f] > 0 {
+			t.counts[f]--
+		}
+		if !found && t.counts[f] == 0 {
+			victim = f
+			found = true
+		}
+	}
+	if found {
+		t.set.remove(victim)
+		delete(t.counts, victim)
+		t.Evictions++
+		t.set.add(flow)
+		t.counts[flow] = 1
+	}
+}
+
+// OnDequeue implements Table.
+func (t *ElephantTrap) OnDequeue(now sim.Time, flow FlowID, bytes int) {}
+
+// Flows implements Table.
+func (t *ElephantTrap) Flows(now sim.Time, dst []FlowID) []FlowID {
+	return append(dst, t.set.order...)
+}
+
+// Len implements Table.
+func (t *ElephantTrap) Len() int { return t.set.len() }
+
+// Count returns a flow's frequency counter (for tests).
+func (t *ElephantTrap) Count(flow FlowID) int { return t.counts[flow] }

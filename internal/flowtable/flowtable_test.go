@@ -1,0 +1,307 @@
+package flowtable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rocc/internal/sim"
+)
+
+func flowsOf(tb Table, now sim.Time) map[FlowID]bool {
+	set := make(map[FlowID]bool)
+	for _, f := range tb.Flows(now, nil) {
+		set[f] = true
+	}
+	return set
+}
+
+func TestQueueTableTracksOccupancy(t *testing.T) {
+	tb := NewQueueTable()
+	tb.OnEnqueue(0, 1, 1000)
+	tb.OnEnqueue(0, 2, 1000)
+	tb.OnEnqueue(0, 1, 500)
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+	if tb.QueuedBytes(1) != 1500 {
+		t.Errorf("QueuedBytes(1) = %d", tb.QueuedBytes(1))
+	}
+	tb.OnDequeue(0, 1, 1000)
+	if !flowsOf(tb, 0)[1] {
+		t.Error("flow 1 evicted while bytes remain")
+	}
+	tb.OnDequeue(0, 1, 500)
+	if flowsOf(tb, 0)[1] {
+		t.Error("flow 1 still present with zero bytes")
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestQueueTableDequeueUnknownFlow(t *testing.T) {
+	tb := NewQueueTable()
+	tb.OnDequeue(0, 42, 1000) // must not panic or underflow
+	if tb.Len() != 0 {
+		t.Error("unknown dequeue created an entry")
+	}
+}
+
+func TestQueueTableReinsertAfterDrain(t *testing.T) {
+	tb := NewQueueTable()
+	tb.OnEnqueue(0, 1, 100)
+	tb.OnDequeue(0, 1, 100)
+	tb.OnEnqueue(0, 1, 200)
+	if tb.Len() != 1 || tb.QueuedBytes(1) != 200 {
+		t.Errorf("re-inserted flow state: len=%d bytes=%d", tb.Len(), tb.QueuedBytes(1))
+	}
+}
+
+// Property: QueueTable contents equal the reference set of flows with a
+// positive byte balance under any enqueue/dequeue interleaving.
+func TestQueueTableMatchesReference(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tb := NewQueueTable()
+		ref := make(map[FlowID]int)
+		for _, op := range ops {
+			flow := FlowID(op % 8)
+			size := int(op%500) + 1
+			if op%2 == 0 {
+				tb.OnEnqueue(0, flow, size)
+				ref[flow] += size
+			} else {
+				tb.OnDequeue(0, flow, size)
+				if ref[flow] > 0 {
+					ref[flow] -= size
+					if ref[flow] <= 0 {
+						delete(ref, flow)
+					}
+				}
+			}
+		}
+		got := flowsOf(tb, 0)
+		if len(got) != len(ref) {
+			return false
+		}
+		for f := range ref {
+			if !got[f] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundedTableCapacity(t *testing.T) {
+	tb := NewBoundedTable(3, sim.Millisecond)
+	for i := 0; i < 10; i++ {
+		tb.OnEnqueue(sim.Time(i), FlowID(i), 100)
+	}
+	if tb.Len() > 3 {
+		t.Errorf("Len = %d exceeds capacity 3", tb.Len())
+	}
+	if tb.Evictions == 0 {
+		t.Error("no evictions despite overflow")
+	}
+}
+
+func TestBoundedTableEvictsOldest(t *testing.T) {
+	tb := NewBoundedTable(2, sim.Second)
+	tb.OnEnqueue(10, 1, 100)
+	tb.OnEnqueue(20, 2, 100)
+	tb.OnEnqueue(30, 1, 100) // refresh flow 1
+	tb.OnEnqueue(40, 3, 100) // evicts flow 2 (oldest)
+	got := flowsOf(tb, 40)
+	if !got[1] || !got[3] || got[2] {
+		t.Errorf("contents = %v, want {1,3}", got)
+	}
+}
+
+func TestBoundedTableAgesOut(t *testing.T) {
+	tb := NewBoundedTable(10, sim.Millisecond)
+	tb.OnEnqueue(0, 1, 100)
+	tb.OnEnqueue(0, 2, 100)
+	tb.OnEnqueue(2*sim.Millisecond, 2, 100) // keep flow 2 fresh
+	got := flowsOf(tb, 2*sim.Millisecond+1)
+	if got[1] {
+		t.Error("stale flow 1 not aged out")
+	}
+	if !got[2] {
+		t.Error("fresh flow 2 aged out")
+	}
+}
+
+func TestBoundedTableDefaults(t *testing.T) {
+	tb := NewBoundedTable(0, 0)
+	tb.OnEnqueue(0, 1, 1)
+	if tb.Len() != 1 {
+		t.Error("degenerate capacity not clamped to 1")
+	}
+}
+
+func TestAFDSamplingCadence(t *testing.T) {
+	tb := NewAFDTable(1000, 8)
+	tb.OnEnqueue(0, 1, 999) // below period: no sample
+	if tb.Len() != 0 {
+		t.Error("sampled before a full period of bytes")
+	}
+	tb.OnEnqueue(0, 2, 1) // crosses 1000 bytes: sample flow 2
+	if got := flowsOf(tb, 0); !got[2] || len(got) != 1 {
+		t.Errorf("contents = %v, want {2}", got)
+	}
+}
+
+func TestAFDMultipleSamplesPerPacket(t *testing.T) {
+	tb := NewAFDTable(100, 8)
+	tb.OnEnqueue(0, 7, 350) // 3 samples of the same flow
+	if tb.Len() != 1 {
+		t.Errorf("distinct flows = %d, want 1", tb.Len())
+	}
+	flows := tb.Flows(0, nil)
+	if len(flows) != 1 || flows[0] != 7 {
+		t.Errorf("Flows = %v", flows)
+	}
+}
+
+func TestAFDRingWraps(t *testing.T) {
+	tb := NewAFDTable(100, 4)
+	for i := 0; i < 10; i++ {
+		tb.OnEnqueue(0, FlowID(i), 100)
+	}
+	if tb.Len() > 4 {
+		t.Errorf("shadow retains %d flows, exceeds ring size 4", tb.Len())
+	}
+	got := flowsOf(tb, 0)
+	for i := 6; i < 10; i++ {
+		if !got[FlowID(i)] {
+			t.Errorf("ring lost recent flow %d", i)
+		}
+	}
+}
+
+func TestElephantTrapFavorsHeavyFlows(t *testing.T) {
+	r := sim.NewRand(1)
+	tb := NewElephantTrap(0.5, 4, r)
+	// One elephant sends 10x the packets of 8 mice.
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 10; i++ {
+			tb.OnEnqueue(0, 100, 1000) // elephant
+		}
+		tb.OnEnqueue(0, FlowID(round%8), 1000) // rotating mice
+	}
+	if tb.Len() > 4 {
+		t.Fatalf("Len = %d exceeds capacity", tb.Len())
+	}
+	if !flowsOf(tb, 0)[100] {
+		t.Error("elephant not retained")
+	}
+	if tb.Count(100) < 10 {
+		t.Errorf("elephant count = %d, want large", tb.Count(100))
+	}
+}
+
+func TestElephantTrapCapacityInvariant(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		tb := NewElephantTrap(0.3, 5, sim.NewRand(seed))
+		for _, op := range ops {
+			tb.OnEnqueue(0, FlowID(op%32), int(op%1500)+1)
+			if tb.Len() > 5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestElephantTrapDefaultsClamp(t *testing.T) {
+	tb := NewElephantTrap(0, 0, sim.NewRand(1))
+	for i := 0; i < 100; i++ {
+		tb.OnEnqueue(0, FlowID(i), 100)
+	}
+	if tb.Len() > 1 {
+		t.Error("capacity clamp failed")
+	}
+}
+
+func TestBubbleCachePromotion(t *testing.T) {
+	tb := NewBubbleCache(1.0, 4, 4, 3, sim.NewRand(1)) // sample everything
+	tb.OnEnqueue(0, 1, 100)
+	tb.OnEnqueue(0, 1, 100)
+	if tb.Len() != 0 {
+		t.Error("promoted before reaching the threshold")
+	}
+	tb.OnEnqueue(0, 1, 100) // third hit: promote
+	if tb.Len() != 1 || !flowsOf(tb, 0)[1] {
+		t.Error("flow not promoted to the main stage")
+	}
+	if tb.Promotions != 1 {
+		t.Errorf("Promotions = %d", tb.Promotions)
+	}
+	if tb.FrontLen() != 0 {
+		t.Error("promoted flow still in the front stage")
+	}
+}
+
+func TestBubbleCacheOnlyMainReceivesFeedback(t *testing.T) {
+	tb := NewBubbleCache(1.0, 8, 8, 100, sim.NewRand(1))
+	tb.OnEnqueue(0, 5, 100) // front only
+	if len(tb.Flows(0, nil)) != 0 {
+		t.Error("front-stage flow reported as recipient")
+	}
+}
+
+func TestBubbleCacheEvictsColdest(t *testing.T) {
+	tb := NewBubbleCache(1.0, 8, 2, 2, sim.NewRand(1))
+	promote := func(f FlowID, hits int) {
+		for i := 0; i < 2; i++ {
+			tb.OnEnqueue(0, f, 100)
+		}
+		for i := 0; i < hits; i++ {
+			tb.OnEnqueue(0, f, 100) // main-stage hits
+		}
+	}
+	promote(1, 5)
+	promote(2, 0)
+	promote(3, 0) // main full: must evict flow 2 (coldest), keep hot flow 1
+	got := flowsOf(tb, 0)
+	if !got[1] || !got[3] || got[2] {
+		t.Errorf("main stage = %v, want {1,3}", got)
+	}
+}
+
+func TestBubbleCacheMainCapacityInvariant(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		tb := NewBubbleCache(0.5, 3, 3, 2, sim.NewRand(seed))
+		for _, op := range ops {
+			tb.OnEnqueue(0, FlowID(op%32), 100)
+			if tb.Len() > 3 || tb.FrontLen() > 3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderedSetRemoveMiddle(t *testing.T) {
+	s := newOrderedSet()
+	s.add(1)
+	s.add(2)
+	s.add(3)
+	s.remove(2)
+	if s.len() != 2 || !s.has(1) || !s.has(3) || s.has(2) {
+		t.Errorf("set after remove: order=%v", s.order)
+	}
+	s.remove(2) // idempotent
+	if s.len() != 2 {
+		t.Error("double remove changed the set")
+	}
+}

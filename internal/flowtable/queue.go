@@ -1,0 +1,51 @@
+package flowtable
+
+import "rocc/internal/sim"
+
+// QueueTable is the paper's default flow table (§3.4 option 1): it tracks
+// exactly the flows that currently have packets in the egress queue, so
+// its size is bounded by the queue size. Feedback goes to every flow
+// contributing to the standing queue.
+type QueueTable struct {
+	set   orderedSet
+	bytes map[FlowID]int
+}
+
+// NewQueueTable returns an empty queue-occupancy flow table.
+func NewQueueTable() *QueueTable {
+	return &QueueTable{set: newOrderedSet(), bytes: make(map[FlowID]int)}
+}
+
+// OnEnqueue implements Table.
+func (t *QueueTable) OnEnqueue(now sim.Time, flow FlowID, bytes int) {
+	if t.bytes[flow] == 0 {
+		t.set.add(flow)
+	}
+	t.bytes[flow] += bytes
+}
+
+// OnDequeue implements Table.
+func (t *QueueTable) OnDequeue(now sim.Time, flow FlowID, bytes int) {
+	b, ok := t.bytes[flow]
+	if !ok {
+		return
+	}
+	b -= bytes
+	if b <= 0 {
+		delete(t.bytes, flow)
+		t.set.remove(flow)
+		return
+	}
+	t.bytes[flow] = b
+}
+
+// Flows implements Table.
+func (t *QueueTable) Flows(now sim.Time, dst []FlowID) []FlowID {
+	return append(dst, t.set.order...)
+}
+
+// Len implements Table.
+func (t *QueueTable) Len() int { return t.set.len() }
+
+// QueuedBytes returns the bytes the flow currently has in the queue.
+func (t *QueueTable) QueuedBytes(flow FlowID) int { return t.bytes[flow] }

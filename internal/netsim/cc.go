@@ -1,0 +1,98 @@
+package netsim
+
+import "rocc/internal/sim"
+
+// FlowCC is the per-flow congestion controller at the sender (the paper's
+// reaction point, and the equivalent state machine of every baseline).
+// Implementations pace by rate, limit by window, or both.
+type FlowCC interface {
+	// Allow reports whether the flow may put a packet with the given
+	// payload size on the wire. If pacing delays transmission it returns
+	// ok=true with the eligible time (possibly in the future). If the flow
+	// is window-blocked it returns ok=false; the host re-polls when an ACK
+	// or CNP arrives or a controller timer fires.
+	Allow(now sim.Time, payload int) (at sim.Time, ok bool)
+
+	// OnSent is invoked when a packet starts transmission. Window-based
+	// controllers read pkt.Seq and pkt.Payload to track bytes in flight.
+	OnSent(now sim.Time, pkt *Packet)
+
+	// OnAck is invoked for every ACK the flow receives.
+	OnAck(now sim.Time, pkt *Packet)
+
+	// OnCNP is invoked for every congestion notification addressed to the
+	// flow, after the NIC reaction delay.
+	OnCNP(now sim.Time, pkt *Packet)
+
+	// CurrentRate reports the controller's nominal sending rate, used by
+	// instrumentation only.
+	CurrentRate() Rate
+}
+
+// NoCC is a FlowCC that never limits the flow. Flows run at the offered
+// (application) rate, bounded only by the NIC link.
+type NoCC struct{}
+
+// Allow always permits transmission immediately.
+func (NoCC) Allow(now sim.Time, payload int) (sim.Time, bool) { return now, true }
+
+// OnSent is a no-op.
+func (NoCC) OnSent(sim.Time, *Packet) {}
+
+// OnAck is a no-op.
+func (NoCC) OnAck(sim.Time, *Packet) {}
+
+// OnCNP is a no-op.
+func (NoCC) OnCNP(sim.Time, *Packet) {}
+
+// CurrentRate reports an effectively unlimited rate.
+func (NoCC) CurrentRate() Rate { return Rate(1e15) }
+
+// PortCC is the switch-side congestion-control attachment for one egress
+// port: ECN marking (DCQCN), INT stamping (HPCC), or the RoCC congestion
+// point's flow table. Periodic behaviour (the RoCC fair-rate timer) is
+// implemented with engine tickers owned by the attachment.
+type PortCC interface {
+	// OnEnqueue runs when a data packet is accepted into the egress queue.
+	// qlen is the data-class queue length in bytes including pkt.
+	OnEnqueue(now sim.Time, pkt *Packet, qlen int)
+
+	// OnDequeue runs when a data packet starts transmission. qlen is the
+	// remaining data-class queue length in bytes.
+	OnDequeue(now sim.Time, pkt *Packet, qlen int)
+}
+
+// ReceiverHook lets a protocol react to data arriving at the destination
+// host (e.g. DCQCN's receiver-generated CNPs). The returned packet, if any,
+// is sent back through the network.
+type ReceiverHook interface {
+	OnData(now sim.Time, pkt *Packet) *Packet
+}
+
+// Pacer serializes transmissions at a configurable rate. It is the building
+// block rate-based FlowCC implementations share.
+type Pacer struct {
+	next sim.Time
+}
+
+// Next returns the earliest time the next packet may start, without
+// consuming the slot.
+func (p *Pacer) Next(now sim.Time) sim.Time {
+	if p.next < now {
+		return now
+	}
+	return p.next
+}
+
+// Consume charges a transmission of wire size bytes at the pacing rate,
+// advancing the next eligible time.
+func (p *Pacer) Consume(now sim.Time, rate Rate, bytes int) {
+	start := p.next
+	if start < now {
+		start = now
+	}
+	p.next = start + rate.TxTime(bytes)
+}
+
+// Reset clears pacing state so the next packet is immediately eligible.
+func (p *Pacer) Reset() { p.next = 0 }

@@ -1,0 +1,19 @@
+// Package netsim is a packet-level datacenter network model built on the
+// discrete-event engine in internal/sim. It provides the substrate the
+// RoCC paper's evaluation runs on:
+//
+//   - Links with configurable bandwidth and propagation delay.
+//   - Ports with three strict-priority classes (control > ack > data), so
+//     switch-originated CNPs are prioritized exactly as §3.3 requires.
+//   - Switches with shared buffers, ECMP routing, optional tail-drop
+//     (lossy) operation, and an IEEE 802.1Qbb PFC model with per-ingress
+//     Xoff/Xon accounting and pause-frame counters.
+//   - Hosts modeling an RDMA NIC: per-flow rate limiters or windows are
+//     plugged in through the FlowCC interface, receivers through
+//     ReceiverHook, and go-back-N loss recovery is available for the
+//     lossy-network experiments (App. A.2).
+//
+// Congestion-control algorithms attach to egress ports via PortCC (ECN
+// marking for DCQCN, INT stamping for HPCC, the RoCC congestion point) and
+// to sender flows via FlowCC (the RoCC reaction point and all baselines).
+package netsim

@@ -1,0 +1,294 @@
+package netsim
+
+import "rocc/internal/sim"
+
+// FlowConfig describes a flow to start.
+type FlowConfig struct {
+	// Size is the message size in bytes. Negative means unbounded (a
+	// persistent flow, stopped explicitly with Flow.Stop).
+	Size int64
+
+	// MaxRate caps the application's offered rate (the micro-benchmarks
+	// offer 90% of link bandwidth per source). Zero means line rate.
+	MaxRate Rate
+
+	// CC is the flow's congestion controller. Nil means NoCC.
+	CC FlowCC
+
+	// Reliable enables go-back-N loss recovery with per-packet cumulative
+	// ACKs (App. A.2). Requires AckEvery == 0 or 1.
+	Reliable bool
+
+	// AckEvery makes the receiver acknowledge every N-th data packet (with
+	// RTT echo and INT echo), as window- and RTT-based protocols need.
+	// Zero disables ACKs unless Reliable is set.
+	AckEvery int
+
+	// RTO is the go-back-N retransmission timeout. Zero defaults to 1 ms.
+	RTO sim.Time
+
+	// ExtraHeader adds per-packet wire overhead beyond HeaderBytes
+	// (HPCC's in-band telemetry bytes).
+	ExtraHeader int
+}
+
+// Flow is a unidirectional message transfer between two hosts, including
+// sender scheduling state and receiver assembly state.
+type Flow struct {
+	ID    FlowID
+	net   *Network
+	src   *Host
+	dst   *Host
+	srcID NodeID
+	dstID NodeID
+
+	Size        int64
+	MaxRate     Rate
+	CC          FlowCC
+	Reliable    bool
+	AckEvery    int
+	RTO         sim.Time
+	ExtraHeader int
+
+	StartTime sim.Time
+
+	// Sender state.
+	nextSeq  int64
+	sentHigh int64
+	appPacer Pacer
+	stopped  bool
+
+	// Go-back-N sender state.
+	ackedSeq       int64
+	lastRewindSeq  int64
+	lastRewindTime sim.Time
+	RetxBytes      int64
+	rtoEv          *sim.Event
+
+	// Receiver state.
+	rcvdContig int64
+	acksOwed   int
+	done       bool
+	FinishTime sim.Time
+}
+
+// Src returns the sending host.
+func (f *Flow) Src() *Host { return f.src }
+
+// Dst returns the receiving host.
+func (f *Flow) Dst() *Host { return f.dst }
+
+// Done reports whether the receiver has the complete message.
+func (f *Flow) Done() bool { return f.done }
+
+// DeliveredBytes returns the contiguous bytes delivered to the receiver.
+func (f *Flow) DeliveredBytes() int64 { return f.rcvdContig }
+
+// SentBytes returns the highest payload byte handed to the wire.
+func (f *Flow) SentBytes() int64 { return f.sentHigh }
+
+// FCT returns the flow completion time, valid once Done.
+func (f *Flow) FCT() sim.Time { return f.FinishTime - f.StartTime }
+
+// Stop halts an unbounded flow at the sender and tears down its controller.
+func (f *Flow) Stop() {
+	f.stopped = true
+	if f.rtoEv != nil {
+		f.rtoEv.Cancel()
+		f.rtoEv = nil
+	}
+	f.net.removeFlowLater(f)
+}
+
+// remaining returns the payload size of the next packet to send.
+func (f *Flow) remaining() int {
+	if f.Size < 0 {
+		return MTUPayload
+	}
+	left := f.Size - f.nextSeq
+	if left > MTUPayload {
+		return MTUPayload
+	}
+	return int(left)
+}
+
+// senderDone reports whether the sender has nothing (new) left to send.
+func (f *Flow) senderDone() bool {
+	if f.stopped {
+		return true
+	}
+	return f.Size >= 0 && f.nextSeq >= f.Size
+}
+
+// removable reports whether the flow can leave the NIC scheduler.
+func (f *Flow) removable() bool {
+	if f.stopped {
+		return true
+	}
+	if f.Size < 0 {
+		return false
+	}
+	if f.nextSeq < f.Size {
+		return false
+	}
+	if f.Reliable {
+		// Keep the flow schedulable until fully acknowledged so go-back-N
+		// rewinds can retransmit.
+		return f.ackedSeq >= f.Size
+	}
+	return true
+}
+
+// allow reports when the flow may transmit its next packet, combining the
+// application's offered-rate pacer with the congestion controller.
+func (f *Flow) allow(now sim.Time) (sim.Time, bool) {
+	if f.senderDone() {
+		return 0, false
+	}
+	payload := f.remaining()
+	at, ok := f.CC.Allow(now, payload)
+	if !ok {
+		return 0, false
+	}
+	if f.MaxRate > 0 {
+		if appAt := f.appPacer.Next(now); appAt > at {
+			at = appAt
+		}
+	}
+	return at, true
+}
+
+// makePacket builds and charges the flow's next data packet.
+func (f *Flow) makePacket(now sim.Time) *Packet {
+	payload := f.remaining()
+	last := f.Size >= 0 && f.nextSeq+int64(payload) >= f.Size
+	pkt := dataPacket(f, f.nextSeq, payload, last, now)
+	pkt.Size += f.ExtraHeader
+	if f.MaxRate > 0 {
+		f.appPacer.Consume(now, f.MaxRate, pkt.Size)
+	}
+	f.CC.OnSent(now, pkt)
+	f.nextSeq += int64(payload)
+	if f.nextSeq > f.sentHigh {
+		f.sentHigh = f.nextSeq
+	}
+	if f.Reliable {
+		f.armRTO(now)
+	}
+	return pkt
+}
+
+func (f *Flow) armRTO(now sim.Time) {
+	if f.rtoEv != nil {
+		f.rtoEv.Cancel()
+	}
+	f.rtoEv = f.net.Engine.After(f.RTO, f.onRTO)
+}
+
+// onRTO is the go-back-N backstop: rewind to the last acknowledged byte.
+func (f *Flow) onRTO() {
+	f.rtoEv = nil
+	if f.stopped || f.ackedSeq >= f.Size && f.Size >= 0 {
+		return
+	}
+	f.rewind(f.net.Engine.Now(), f.ackedSeq)
+	f.armRTO(f.net.Engine.Now())
+	f.src.Kick()
+}
+
+// rewind implements the go-back-N retransmission: resume sending from seq.
+func (f *Flow) rewind(now sim.Time, seq int64) {
+	if seq >= f.nextSeq {
+		return
+	}
+	// Suppress rewind storms from duplicate NACKs for the same gap.
+	if seq == f.lastRewindSeq && now-f.lastRewindTime < 50*sim.Microsecond {
+		return
+	}
+	f.lastRewindSeq = seq
+	f.lastRewindTime = now
+	f.RetxBytes += f.nextSeq - seq
+	f.net.RetxBytesTotal += f.nextSeq - seq
+	f.nextSeq = seq
+}
+
+// onDataArrive runs at the receiving host.
+func (f *Flow) onDataArrive(now sim.Time, pkt *Packet) {
+	advanced := false
+	if f.Reliable {
+		switch {
+		case pkt.Seq == f.rcvdContig:
+			f.rcvdContig += int64(pkt.Payload)
+			advanced = true
+			f.sendAck(now, pkt, false)
+		case pkt.Seq > f.rcvdContig:
+			// Gap: go-back-N discards and NACKs the expected sequence.
+			f.sendAck(now, pkt, true)
+		default:
+			// Duplicate of already-delivered data; re-acknowledge.
+			f.sendAck(now, pkt, false)
+		}
+	} else {
+		// Lossless single-path fabric delivers in order.
+		f.rcvdContig += int64(pkt.Payload)
+		advanced = true
+		if f.AckEvery > 0 {
+			f.acksOwed++
+			if f.acksOwed >= f.AckEvery || pkt.Last {
+				f.acksOwed = 0
+				f.sendAck(now, pkt, false)
+			}
+		}
+	}
+	if advanced && !f.done && f.Size >= 0 && f.rcvdContig >= f.Size {
+		f.done = true
+		f.FinishTime = now
+		if f.net.OnFlowDone != nil {
+			f.net.OnFlowDone(f)
+		}
+		if !f.Reliable {
+			f.net.removeFlowLater(f)
+		}
+	}
+}
+
+// sendAck emits a cumulative ACK (or NACK) with RTT and INT echoes.
+func (f *Flow) sendAck(now sim.Time, data *Packet, nack bool) {
+	ack := &Packet{
+		Flow:    f.ID,
+		Src:     f.dstID,
+		Dst:     f.srcID,
+		Kind:    KindAck,
+		Cls:     ClassAck,
+		Size:    AckBytes,
+		AckSeq:  f.rcvdContig,
+		Nack:    nack,
+		EchoTS:  data.SendTS,
+		EchoINT: data.INT,
+		SendTS:  now,
+	}
+	f.dst.Send(ack)
+}
+
+// onAckArrive runs at the sending host.
+func (f *Flow) onAckArrive(now sim.Time, pkt *Packet) {
+	if pkt.AckSeq > f.ackedSeq {
+		f.ackedSeq = pkt.AckSeq
+		if f.Reliable {
+			if f.Size >= 0 && f.ackedSeq >= f.Size {
+				if f.rtoEv != nil {
+					f.rtoEv.Cancel()
+					f.rtoEv = nil
+				}
+				f.net.removeFlowLater(f)
+			} else {
+				f.armRTO(now)
+			}
+		}
+	}
+	if pkt.Nack {
+		f.rewind(now, pkt.AckSeq)
+	}
+	f.CC.OnAck(now, pkt)
+	f.src.Kick()
+}

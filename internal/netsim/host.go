@@ -1,0 +1,182 @@
+package netsim
+
+import "rocc/internal/sim"
+
+// Host models an RDMA endpoint: a NIC with per-flow rate limiters
+// (reaction points), a pull-based packet scheduler, and receiver logic with
+// optional go-back-N reliability.
+//
+// The NIC never queues data internally: when its link goes idle it pulls
+// the next packet from the eligible flow whose pacing deadline is earliest,
+// matching how an RDMA NIC arbitrates between rate-limited queue pairs.
+type Host struct {
+	net  *Network
+	id   NodeID
+	Name string
+	port *Port
+
+	// RPDelay is the NIC reaction delay applied to incoming congestion
+	// notifications before the flow controller sees them (15 µs in §6).
+	RPDelay sim.Time
+
+	// Receiver is the protocol hook run for every arriving data packet
+	// (e.g. DCQCN's receiver-side CNP generation).
+	Receiver ReceiverHook
+
+	flows   []*Flow // sending flows
+	rrIndex int
+	wake    *sim.Event
+
+	// Counters.
+	RxDataBytes uint64
+	CNPsRx      uint64
+}
+
+// ID returns the host's node id.
+func (h *Host) ID() NodeID { return h.id }
+
+// Ports returns the host's single NIC port, or nothing before the host
+// is connected.
+func (h *Host) Ports() []*Port {
+	if h.port == nil {
+		return nil
+	}
+	return []*Port{h.port}
+}
+
+// NIC returns the host's NIC port.
+func (h *Host) NIC() *Port { return h.port }
+
+// ActiveFlows returns the number of flows with data left to send.
+func (h *Host) ActiveFlows() int {
+	n := 0
+	for _, f := range h.flows {
+		if !f.senderDone() {
+			n++
+		}
+	}
+	return n
+}
+
+// Kick re-arms the NIC scheduler. Flow controllers call this (through
+// Network.Kick) after timers change pacing state.
+func (h *Host) Kick() { h.port.kick() }
+
+// addFlow registers a sending flow with the NIC scheduler.
+func (h *Host) addFlow(f *Flow) {
+	h.flows = append(h.flows, f)
+	h.port.kick()
+}
+
+// refill is the NIC pull hook: pick the next transmittable packet, or
+// schedule a wake-up at the earliest pacing deadline.
+func (h *Host) refill() *Packet {
+	now := h.net.Engine.Now()
+	h.cleanup()
+	n := len(h.flows)
+	if n == 0 {
+		return nil
+	}
+	var chosen *Flow
+	earliest := sim.Time(-1)
+	// Round-robin over flows so simultaneously-eligible flows share the
+	// NIC fairly.
+	for i := 0; i < n; i++ {
+		idx := (h.rrIndex + 1 + i) % n
+		f := h.flows[idx]
+		at, ok := f.allow(now)
+		if !ok {
+			continue
+		}
+		if at <= now {
+			chosen = f
+			h.rrIndex = idx
+			break
+		}
+		if earliest < 0 || at < earliest {
+			earliest = at
+		}
+	}
+	if chosen != nil {
+		return chosen.makePacket(now)
+	}
+	if earliest >= 0 {
+		h.scheduleWake(earliest)
+	}
+	return nil
+}
+
+// cleanup drops flows that finished sending (and, when reliable, are fully
+// acknowledged) from the scheduler.
+func (h *Host) cleanup() {
+	out := h.flows[:0]
+	for _, f := range h.flows {
+		if !f.removable() {
+			out = append(out, f)
+		}
+	}
+	for i := len(out); i < len(h.flows); i++ {
+		h.flows[i] = nil
+	}
+	h.flows = out
+	if h.rrIndex >= len(h.flows) {
+		h.rrIndex = 0
+	}
+}
+
+func (h *Host) scheduleWake(at sim.Time) {
+	if h.wake != nil && !h.wake.Cancelled() && h.wake.At() <= at {
+		return
+	}
+	if h.wake != nil {
+		h.wake.Cancel()
+	}
+	h.wake = h.net.Engine.At(at, func() { h.port.kick() })
+}
+
+// Arrive implements Node.
+func (h *Host) Arrive(pkt *Packet, inPort int) {
+	now := h.net.Engine.Now()
+	switch pkt.Kind {
+	case KindPause:
+		h.port.SetPaused(pkt.PauseOn)
+	case KindData:
+		h.RxDataBytes += uint64(pkt.Size)
+		f := h.net.flows[pkt.Flow]
+		if f == nil {
+			return // flow already torn down
+		}
+		if h.Receiver != nil {
+			if resp := h.Receiver.OnData(now, pkt); resp != nil {
+				h.Send(resp)
+			}
+		}
+		f.onDataArrive(now, pkt)
+	case KindAck:
+		f := h.net.flows[pkt.Flow]
+		if f == nil {
+			return
+		}
+		f.onAckArrive(now, pkt)
+	case KindCNP:
+		h.CNPsRx++
+		f := h.net.flows[pkt.Flow]
+		if f == nil {
+			return
+		}
+		// NIC reaction delay before the reaction point processes the CNP.
+		h.net.Engine.After(h.RPDelay, func() {
+			if h.net.flows[pkt.Flow] == nil {
+				return
+			}
+			f.CC.OnCNP(h.net.Engine.Now(), pkt)
+			h.port.kick()
+		})
+	}
+}
+
+// Send transmits a locally generated control packet (ACK, CNP response)
+// through the NIC.
+func (h *Host) Send(pkt *Packet) {
+	h.port.Enqueue(pkt)
+}

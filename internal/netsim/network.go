@@ -1,0 +1,237 @@
+package netsim
+
+import (
+	"fmt"
+
+	"rocc/internal/sim"
+)
+
+// Node is a network element: a Host or a Switch.
+type Node interface {
+	ID() NodeID
+	Ports() []*Port
+	Arrive(pkt *Packet, inPort int)
+}
+
+// Network owns the topology, the flow registry and global configuration.
+type Network struct {
+	Engine *sim.Engine
+	Rand   *sim.Rand
+
+	nodes    []Node
+	hosts    []*Host
+	switches []*Switch
+
+	flows    map[FlowID]*Flow
+	nextFlow FlowID
+
+	// OnFlowDone is invoked when a flow's last byte reaches its receiver.
+	OnFlowDone func(*Flow)
+
+	// DefaultRPDelay is applied to hosts created after it is set (15 µs
+	// per §6). It can be overridden per host.
+	DefaultRPDelay sim.Time
+
+	// RetxBytesTotal accumulates go-back-N retransmitted bytes across all
+	// flows, including completed ones (App. A.2 reporting).
+	RetxBytesTotal int64
+}
+
+// New creates an empty network on the given engine.
+func New(engine *sim.Engine, seed int64) *Network {
+	return &Network{
+		Engine:         engine,
+		Rand:           sim.NewRand(seed),
+		flows:          make(map[FlowID]*Flow),
+		DefaultRPDelay: 15 * sim.Microsecond,
+	}
+}
+
+// AddHost creates a host.
+func (n *Network) AddHost(name string) *Host {
+	h := &Host{net: n, id: NodeID(len(n.nodes)), Name: name, RPDelay: n.DefaultRPDelay}
+	n.nodes = append(n.nodes, h)
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// AddSwitch creates a switch with the given buffer configuration.
+func (n *Network) AddSwitch(name string, buf BufferConfig) *Switch {
+	s := &Switch{
+		net:    n,
+		id:     NodeID(len(n.nodes)),
+		Name:   name,
+		Buffer: buf,
+		routes: make(map[NodeID][]int),
+	}
+	n.nodes = append(n.nodes, s)
+	n.switches = append(n.switches, s)
+	return s
+}
+
+// Hosts returns all hosts in creation order.
+func (n *Network) Hosts() []*Host { return n.hosts }
+
+// Switches returns all switches in creation order.
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// Node returns the node with the given id.
+func (n *Network) Node(id NodeID) Node { return n.nodes[id] }
+
+// Flow returns a registered flow, or nil after it completed.
+func (n *Network) Flow(id FlowID) *Flow { return n.flows[id] }
+
+// Connect links two nodes with a full-duplex link of the given rate and
+// propagation delay, returning the two port ends (a's, then b's).
+func (n *Network) Connect(a, b Node, rate Rate, delay sim.Time) (*Port, *Port) {
+	pa := &Port{net: n, owner: a, LinkRate: rate, PropDelay: delay}
+	pb := &Port{net: n, owner: b, LinkRate: rate, PropDelay: delay}
+	n.attach(a, pa)
+	n.attach(b, pb)
+	pa.PeerNode, pa.PeerPort = b, pb.Index
+	pb.PeerNode, pb.PeerPort = a, pa.Index
+	return pa, pb
+}
+
+func (n *Network) attach(node Node, p *Port) {
+	switch v := node.(type) {
+	case *Host:
+		if v.port != nil {
+			panic("netsim: host " + v.Name + " already has a NIC port")
+		}
+		p.Index = 0
+		p.Refill = v.refill
+		v.port = p
+	case *Switch:
+		v.addPort(p)
+	default:
+		panic(fmt.Sprintf("netsim: unknown node type %T", node))
+	}
+}
+
+// ComputeRoutes builds shortest-path ECMP routing tables for every host
+// destination. Call after the topology is complete.
+func (n *Network) ComputeRoutes() {
+	for _, s := range n.switches {
+		s.routes = make(map[NodeID][]int)
+	}
+	for _, dst := range n.hosts {
+		dist := n.bfs(dst)
+		for _, s := range n.switches {
+			ds, ok := dist[s.id]
+			if !ok {
+				continue
+			}
+			var next []int
+			for i, p := range s.ports {
+				if dp, ok := dist[p.PeerNode.ID()]; ok && dp == ds-1 {
+					next = append(next, i)
+				}
+			}
+			if len(next) > 0 {
+				s.routes[dst.id] = next
+			}
+		}
+	}
+}
+
+// bfs returns hop distances from every node to dst.
+func (n *Network) bfs(dst Node) map[NodeID]int {
+	dist := map[NodeID]int{dst.ID(): 0}
+	queue := []Node{dst}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, p := range cur.Ports() {
+			peer := p.PeerNode
+			if peer == nil {
+				continue
+			}
+			if _, seen := dist[peer.ID()]; !seen {
+				dist[peer.ID()] = dist[cur.ID()] + 1
+				queue = append(queue, peer)
+			}
+		}
+	}
+	return dist
+}
+
+// StartFlow begins a flow from src to dst with the given configuration.
+func (n *Network) StartFlow(src, dst *Host, cfg FlowConfig) *Flow {
+	if src == dst {
+		panic("netsim: flow source equals destination")
+	}
+	n.nextFlow++
+	cc := cfg.CC
+	if cc == nil {
+		cc = NoCC{}
+	}
+	rto := cfg.RTO
+	if rto == 0 {
+		rto = sim.Millisecond
+	}
+	ackEvery := cfg.AckEvery
+	if cfg.Reliable && ackEvery == 0 {
+		ackEvery = 1
+	}
+	f := &Flow{
+		ID:          n.nextFlow,
+		net:         n,
+		src:         src,
+		dst:         dst,
+		srcID:       src.id,
+		dstID:       dst.id,
+		Size:        cfg.Size,
+		MaxRate:     cfg.MaxRate,
+		CC:          cc,
+		Reliable:    cfg.Reliable,
+		AckEvery:    ackEvery,
+		RTO:         rto,
+		ExtraHeader: cfg.ExtraHeader,
+		StartTime:   n.Engine.Now(),
+	}
+	n.flows[f.ID] = f
+	src.addFlow(f)
+	return f
+}
+
+// removeFlowLater tears down a completed flow's controller timers and
+// schedules its removal from the registry after a grace period, so ACKs
+// and CNPs still in flight (up to a few RTTs behind the last data byte)
+// reach the flow instead of being dropped.
+func (n *Network) removeFlowLater(f *Flow) {
+	if s, ok := f.CC.(interface{ Stop() }); ok {
+		s.Stop()
+	}
+	id := f.ID
+	n.Engine.After(removeGrace, func() {
+		if n.flows[id] == f {
+			delete(n.flows, id)
+		}
+	})
+}
+
+// removeGrace is how long a completed flow stays addressable for late
+// control packets.
+const removeGrace = 200 * sim.Microsecond
+
+// ActiveFlowCount returns the number of registered (incomplete) flows.
+func (n *Network) ActiveFlowCount() int { return len(n.flows) }
+
+// TotalPFCFrames sums Xoff pause frames across all switches.
+func (n *Network) TotalPFCFrames() int {
+	total := 0
+	for _, s := range n.switches {
+		total += s.PauseFrames
+	}
+	return total
+}
+
+// TotalDrops sums tail drops across all switches.
+func (n *Network) TotalDrops() int {
+	total := 0
+	for _, s := range n.switches {
+		total += s.Drops
+	}
+	return total
+}

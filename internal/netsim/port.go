@@ -1,0 +1,165 @@
+package netsim
+
+import "rocc/internal/sim"
+
+// Port is one end of a link. It owns per-class strict-priority queues and
+// serializes packets at the link rate. The data class can be paused by PFC.
+type Port struct {
+	net   *Network
+	owner Node
+	Index int // port index at the owner
+
+	PeerNode Node
+	PeerPort int
+
+	LinkRate  Rate
+	PropDelay sim.Time
+
+	queues     [NumClasses][]*Packet
+	queueBytes [NumClasses]int
+	busy       bool
+	paused     bool // PFC pause applies to ClassData only
+
+	// Refill, if set, is asked for a data packet when the port would
+	// otherwise go idle (host pull model). Switches leave it nil.
+	Refill func() *Packet
+
+	// OnDequeue, if set, runs when a data packet leaves the queue and
+	// starts transmission (switch egress pipeline hook).
+	OnDequeue func(pkt *Packet, qlen int)
+
+	// CC is the switch-side congestion-control attachment, if any.
+	CC PortCC
+
+	// Tracer, when set, records this port's enqueue/dequeue/pause events
+	// into a bounded ring for debugging.
+	Tracer *Tracer
+
+	// Counters.
+	TxBytes     uint64 // all classes
+	TxDataBytes uint64
+	TxPackets   uint64
+	PausedFor   sim.Time // cumulative time spent paused
+	pausedAt    sim.Time
+}
+
+// Owner returns the node the port belongs to.
+func (p *Port) Owner() Node { return p.owner }
+
+// QueueBytes returns the queued bytes of one class (excluding the packet
+// currently being serialized).
+func (p *Port) QueueBytes(c Class) int { return p.queueBytes[c] }
+
+// DataQueueBytes returns the data-class backlog in bytes. This is the
+// quantity the RoCC congestion point reads as Qcur.
+func (p *Port) DataQueueBytes() int { return p.queueBytes[ClassData] }
+
+// Paused reports whether the data class is PFC-paused.
+func (p *Port) Paused() bool { return p.paused }
+
+// Enqueue appends a packet to its class queue and starts transmission if
+// the port is idle.
+func (p *Port) Enqueue(pkt *Packet) {
+	c := pkt.Cls
+	p.queues[c] = append(p.queues[c], pkt)
+	p.queueBytes[c] += pkt.Size
+	p.trace("enqueue", pkt)
+	p.kick()
+}
+
+// SetPaused applies or releases a PFC pause on the data class.
+func (p *Port) SetPaused(on bool) {
+	if p.paused == on {
+		return
+	}
+	p.paused = on
+	now := p.net.Engine.Now()
+	if on {
+		p.pausedAt = now
+		p.trace("pause", &Packet{Kind: KindPause})
+	} else {
+		p.PausedFor += now - p.pausedAt
+		p.trace("resume", &Packet{Kind: KindPause})
+		p.kick()
+	}
+}
+
+// nextPacket pops the highest-priority transmittable packet, consulting the
+// Refill hook when the data queue is empty.
+func (p *Port) nextPacket() *Packet {
+	for c := ClassCtrl; c < NumClasses; c++ {
+		if c == ClassData && p.paused {
+			continue
+		}
+		if len(p.queues[c]) > 0 {
+			pkt := p.queues[c][0]
+			copy(p.queues[c], p.queues[c][1:])
+			p.queues[c] = p.queues[c][:len(p.queues[c])-1]
+			p.queueBytes[c] -= pkt.Size
+			return pkt
+		}
+		if c == ClassData && p.Refill != nil {
+			if pkt := p.Refill(); pkt != nil {
+				return pkt
+			}
+		}
+	}
+	return nil
+}
+
+// kick starts transmission if the port is idle and work is available.
+func (p *Port) kick() {
+	if p.busy {
+		return
+	}
+	pkt := p.nextPacket()
+	if pkt == nil {
+		return
+	}
+	p.busy = true
+	now := p.net.Engine.Now()
+	p.trace("dequeue", pkt)
+	if pkt.Kind == KindData {
+		if p.OnDequeue != nil {
+			p.OnDequeue(pkt, p.queueBytes[ClassData])
+		}
+		if p.CC != nil {
+			p.CC.OnDequeue(now, pkt, p.queueBytes[ClassData])
+		}
+	}
+	txTime := p.LinkRate.TxTime(pkt.Size)
+	p.net.Engine.After(txTime, func() {
+		p.busy = false
+		p.TxBytes += uint64(pkt.Size)
+		p.TxPackets++
+		if pkt.Kind == KindData {
+			p.TxDataBytes += uint64(pkt.Size)
+		}
+		peer, peerPort := p.PeerNode, p.PeerPort
+		p.net.Engine.After(p.PropDelay, func() {
+			peer.Arrive(pkt, peerPort)
+		})
+		p.kick()
+	})
+}
+
+// sendPauseFrame delivers a PFC pause/resume to the link peer out of band
+// (PFC frames preempt data in real hardware; we model them as a fixed
+// serialization plus propagation delay that does not occupy the queue).
+func (p *Port) sendPauseFrame(on bool) {
+	pkt := &Packet{Kind: KindPause, Cls: ClassCtrl, Size: PauseBytes, PauseOn: on}
+	delay := p.LinkRate.TxTime(PauseBytes) + p.PropDelay
+	peer, peerPort := p.PeerNode, p.PeerPort
+	p.net.Engine.After(delay, func() {
+		peer.Arrive(pkt, peerPort)
+	})
+}
+
+// Utilization returns the fraction of link capacity used by transmissions
+// between two byte counters sampled interval apart.
+func Utilization(txBytesDelta uint64, rate Rate, interval sim.Time) float64 {
+	if interval <= 0 {
+		return 0
+	}
+	return float64(txBytesDelta) * 8 / (float64(rate) * interval.Seconds())
+}

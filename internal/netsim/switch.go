@@ -1,0 +1,215 @@
+package netsim
+
+// BufferConfig describes the shared packet buffer of a switch and its PFC
+// behaviour. The paper's defaults (per §6): 500 KB PFC threshold for
+// 40 Gb/s fabrics and 800 KB for 100 Gb/s.
+type BufferConfig struct {
+	// TotalBytes caps data-class buffering across all egress queues.
+	// Zero means unlimited (no drops), the paper's lossless default.
+	TotalBytes int
+
+	// PFCEnabled turns on per-ingress pause generation.
+	PFCEnabled bool
+
+	// PFCThreshold is the per-ingress Xoff watermark in bytes.
+	PFCThreshold int
+
+	// PFCResume is the Xon watermark. Zero defaults to PFCThreshold - 20 KB
+	// (floored at half the threshold).
+	PFCResume int
+
+	// SharedFactor scales the shared-buffer Xoff trigger: when total
+	// data-class occupancy exceeds SharedFactor × PFCThreshold, every
+	// contributing ingress is paused (shared-buffer pressure). Zero
+	// defaults to 2. Per-ingress accounting still pauses an individual
+	// ingress at PFCThreshold.
+	SharedFactor int
+}
+
+func (b BufferConfig) sharedXoff() int {
+	f := b.SharedFactor
+	if f <= 0 {
+		f = 2
+	}
+	return f * b.PFCThreshold
+}
+
+func (b BufferConfig) sharedXon() int {
+	return b.sharedXoff() - (b.PFCThreshold - b.resume())
+}
+
+func (b BufferConfig) resume() int {
+	if b.PFCResume > 0 {
+		return b.PFCResume
+	}
+	r := b.PFCThreshold - 20*KB
+	if min := b.PFCThreshold / 2; r < min {
+		r = min
+	}
+	return r
+}
+
+// Switch is a shared-buffer output-queued switch with ECMP routing, an
+// 802.1Qbb PFC model, and per-port congestion-control attachments.
+type Switch struct {
+	net    *Network
+	id     NodeID
+	Name   string
+	ports  []*Port
+	routes map[NodeID][]int // destination -> equal-cost egress ports
+	Buffer BufferConfig
+
+	bufferUsed    int
+	ingressUsage  []int
+	pausedIngress []bool
+	sharedOver    bool // shared-buffer occupancy above the PFC threshold
+
+	// Counters.
+	PauseFrames   int // Xoff frames sent (the paper's "PFC activations")
+	ResumeFrames  int
+	Drops         int
+	MaxBufferUsed int
+}
+
+// ID returns the switch's node id.
+func (s *Switch) ID() NodeID { return s.id }
+
+// Ports returns the switch's ports.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// Port returns port i.
+func (s *Switch) Port(i int) *Port { return s.ports[i] }
+
+// PortTo returns the first port whose link peer is the given node, or nil.
+func (s *Switch) PortTo(peer Node) *Port {
+	for _, p := range s.ports {
+		if p.PeerNode == peer {
+			return p
+		}
+	}
+	return nil
+}
+
+// BufferUsed returns the current data-class buffer occupancy in bytes.
+func (s *Switch) BufferUsed() int { return s.bufferUsed }
+
+func (s *Switch) addPort(p *Port) {
+	p.Index = len(s.ports)
+	p.OnDequeue = s.onDataDequeue
+	s.ports = append(s.ports, p)
+	s.ingressUsage = append(s.ingressUsage, 0)
+	s.pausedIngress = append(s.pausedIngress, false)
+}
+
+// Arrive implements Node.
+func (s *Switch) Arrive(pkt *Packet, inPort int) {
+	if pkt.Kind == KindPause {
+		s.ports[inPort].SetPaused(pkt.PauseOn)
+		return
+	}
+	egress := s.egressFor(pkt)
+	if egress == nil {
+		panic("netsim: switch " + s.Name + " has no route for packet destination")
+	}
+	if pkt.Kind != KindData {
+		// Control and ACK classes are small and exempt from buffer and
+		// PFC accounting; they ride the high-priority queues.
+		egress.Enqueue(pkt)
+		return
+	}
+	if s.Buffer.TotalBytes > 0 && s.bufferUsed+pkt.Size > s.Buffer.TotalBytes {
+		s.Drops++
+		return
+	}
+	s.bufferUsed += pkt.Size
+	if s.bufferUsed > s.MaxBufferUsed {
+		s.MaxBufferUsed = s.bufferUsed
+	}
+	pkt.ingress = inPort
+	s.ingressUsage[inPort] += pkt.Size
+	if s.Buffer.PFCEnabled {
+		// 802.1Qbb pauses an upstream sender when the buffer it is
+		// responsible for crosses Xoff. We model both triggers real
+		// switches use: per-ingress accounting, and shared-buffer
+		// pressure (which pauses every contributing ingress).
+		if !s.sharedOver && s.bufferUsed >= s.Buffer.sharedXoff() {
+			s.sharedOver = true
+		}
+		if !s.pausedIngress[inPort] &&
+			(s.sharedOver || s.ingressUsage[inPort] >= s.Buffer.PFCThreshold) {
+			s.pausedIngress[inPort] = true
+			s.PauseFrames++
+			s.ports[inPort].sendPauseFrame(true)
+		}
+	}
+	if egress.CC != nil {
+		egress.CC.OnEnqueue(s.net.Engine.Now(), pkt, egress.QueueBytes(ClassData)+pkt.Size)
+	}
+	egress.Enqueue(pkt)
+}
+
+// onDataDequeue releases buffer and PFC accounting when a data packet
+// starts transmission on any egress port.
+func (s *Switch) onDataDequeue(pkt *Packet, qlen int) {
+	s.bufferUsed -= pkt.Size
+	in := pkt.ingress
+	s.ingressUsage[in] -= pkt.Size
+	if !s.Buffer.PFCEnabled {
+		return
+	}
+	if s.sharedOver && s.bufferUsed <= s.Buffer.sharedXon() {
+		// Shared pressure released: resume every ingress that is also
+		// individually below its watermark.
+		s.sharedOver = false
+		for i := range s.pausedIngress {
+			if s.pausedIngress[i] && s.ingressUsage[i] <= s.Buffer.resume() {
+				s.resume(i)
+			}
+		}
+		return
+	}
+	if s.pausedIngress[in] && !s.sharedOver && s.ingressUsage[in] <= s.Buffer.resume() {
+		s.resume(in)
+	}
+}
+
+func (s *Switch) resume(in int) {
+	s.pausedIngress[in] = false
+	s.ResumeFrames++
+	s.ports[in].sendPauseFrame(false)
+}
+
+// egressFor picks the egress port for a packet, hashing flows across
+// equal-cost paths (ECMP).
+func (s *Switch) egressFor(pkt *Packet) *Port {
+	choices := s.routes[pkt.Dst]
+	switch len(choices) {
+	case 0:
+		return nil
+	case 1:
+		return s.ports[choices[0]]
+	}
+	h := ecmpHash(uint64(pkt.Flow), uint64(s.id))
+	return s.ports[choices[h%uint64(len(choices))]]
+}
+
+// Inject routes a locally generated packet (a RoCC CNP) out of the switch.
+func (s *Switch) Inject(pkt *Packet) {
+	egress := s.egressFor(pkt)
+	if egress == nil {
+		panic("netsim: switch " + s.Name + " has no route for injected packet")
+	}
+	egress.Enqueue(pkt)
+}
+
+// ecmpHash mixes a flow id and switch id into a uniform 64-bit value
+// (splitmix64 finalizer), so a flow hashes independently at each hop.
+func ecmpHash(flow, sw uint64) uint64 {
+	x := flow*0x9e3779b97f4a7c15 + sw
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"fmt"
+	"io"
+
+	"rocc/internal/sim"
+)
+
+// TraceEvent is one recorded dataplane event.
+type TraceEvent struct {
+	At    sim.Time
+	Node  NodeID
+	Port  int
+	What  string // "enqueue", "dequeue", "drop", "pause", "resume"
+	Flow  FlowID
+	Kind  Kind
+	Bytes int
+	QLen  int // data-class backlog after the event
+}
+
+// String renders the event on one line.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%-12s node=%-3d port=%-2d %-7s flow=%-4d %-5s %4dB q=%d",
+		e.At, e.Node, e.Port, e.What, e.Flow, e.Kind, e.Bytes, e.QLen)
+}
+
+// Tracer records dataplane events into a bounded ring buffer, so the
+// recent history before an anomaly can be dumped without unbounded
+// memory. Attach with Port.Tracer (per port) — typically on the
+// bottleneck port under investigation.
+type Tracer struct {
+	ring  []TraceEvent
+	next  int
+	count uint64
+}
+
+// NewTracer creates a tracer retaining the last n events.
+func NewTracer(n int) *Tracer {
+	if n < 1 {
+		n = 1
+	}
+	return &Tracer{ring: make([]TraceEvent, 0, n)}
+}
+
+// Record appends an event, evicting the oldest when full.
+func (t *Tracer) Record(e TraceEvent) {
+	t.count++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % cap(t.ring)
+}
+
+// Total returns how many events were recorded over the tracer's lifetime
+// (including evicted ones).
+func (t *Tracer) Total() uint64 { return t.count }
+
+// Events returns the retained events, oldest first.
+func (t *Tracer) Events() []TraceEvent {
+	if len(t.ring) < cap(t.ring) {
+		out := make([]TraceEvent, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]TraceEvent, 0, cap(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dump writes the retained events to w, oldest first.
+func (t *Tracer) Dump(w io.Writer) {
+	for _, e := range t.Events() {
+		fmt.Fprintln(w, e)
+	}
+}
+
+// trace records an event if the port has a tracer attached.
+func (p *Port) trace(what string, pkt *Packet) {
+	if p.Tracer == nil {
+		return
+	}
+	p.Tracer.Record(TraceEvent{
+		At:    p.net.Engine.Now(),
+		Node:  p.owner.ID(),
+		Port:  p.Index,
+		What:  what,
+		Flow:  pkt.Flow,
+		Kind:  pkt.Kind,
+		Bytes: pkt.Size,
+		QLen:  p.queueBytes[ClassData],
+	})
+}

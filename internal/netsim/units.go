@@ -1,0 +1,59 @@
+package netsim
+
+import (
+	"fmt"
+
+	"rocc/internal/sim"
+)
+
+// Rate is a bandwidth or sending rate in bits per second.
+type Rate float64
+
+// Gbps returns a Rate of g gigabits per second.
+func Gbps(g float64) Rate { return Rate(g * 1e9) }
+
+// Mbps returns a Rate of m megabits per second.
+func Mbps(m float64) Rate { return Rate(m * 1e6) }
+
+// Gbps returns the rate expressed in gigabits per second.
+func (r Rate) Gbps() float64 { return float64(r) / 1e9 }
+
+// Mbps returns the rate expressed in megabits per second.
+func (r Rate) Mbps() float64 { return float64(r) / 1e6 }
+
+// TxTime returns the serialization delay of a packet of the given size.
+func (r Rate) TxTime(bytes int) sim.Time {
+	if r <= 0 {
+		panic("netsim: TxTime on non-positive rate")
+	}
+	ns := float64(bytes) * 8 * 1e9 / float64(r)
+	t := sim.Time(ns)
+	if float64(t) < ns {
+		t++
+	}
+	return t
+}
+
+// String formats the rate with an adaptive unit.
+func (r Rate) String() string {
+	switch {
+	case r >= 1e9:
+		return fmt.Sprintf("%.2fGb/s", r.Gbps())
+	case r >= 1e6:
+		return fmt.Sprintf("%.2fMb/s", r.Mbps())
+	default:
+		return fmt.Sprintf("%.0fb/s", float64(r))
+	}
+}
+
+// Wire and protocol sizing. Data payloads are segmented at MTUPayload
+// bytes; every packet carries HeaderBytes of framing (Ethernet + IP + UDP +
+// transport headers, approximating RoCEv2 overhead).
+const (
+	MTUPayload  = 1000 // max payload bytes per data packet
+	HeaderBytes = 48   // per-packet header overhead on the wire
+	AckBytes    = 64   // wire size of an ACK/NACK
+	CNPBytes    = 64   // wire size of a congestion notification packet
+	PauseBytes  = 64   // wire size of a PFC pause frame
+	KB          = 1000 // queue thresholds in the paper use decimal KB
+)

@@ -1,0 +1,119 @@
+package p4gen
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"rocc/internal/core"
+)
+
+func TestProgramStructure(t *testing.T) {
+	src, err := Program(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	required := []string{
+		`@controller_header("packet_out")`, // Listing 1
+		"header packetout_t",
+		"bit<8> egress_port;",
+		"CPU_PORT        = 255",
+		"state parse_packetout",
+		"steer_cnp",                                   // (3) ingress steering
+		"std.deq_qdepth",                              // (4) traffic-manager depth
+		"register<bit<32>>(FLOW_TABLE_SIZE) flow_src", // (5i) flow table
+		"hdr.icmp.qcur = (bit<32>)std.deq_qdepth",     // (5ii) stamping
+		"V1Switch(",
+	}
+	for _, want := range required {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated program missing %q", want)
+		}
+	}
+}
+
+func TestProgramBracesBalanced(t *testing.T) {
+	src, err := Program(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := 0
+	for _, r := range src {
+		switch r {
+		case '{':
+			depth++
+		case '}':
+			depth--
+			if depth < 0 {
+				t.Fatal("unbalanced closing brace")
+			}
+		}
+	}
+	if depth != 0 {
+		t.Fatalf("brace depth %d at EOF", depth)
+	}
+}
+
+func TestProgramParameterEmbedding(t *testing.T) {
+	src, err := Program(Options{TMicros: 123, FlowTableSlots: 2048, CPUPort: 192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"123 us", "FLOW_TABLE_SIZE = 2048", "CPU_PORT        = 192"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("option not embedded: %q", want)
+		}
+	}
+}
+
+func TestProgramDeterministic(t *testing.T) {
+	a, _ := Program(Options{})
+	b, _ := Program(Options{})
+	if a != b {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestProgramRejectsInvalidCore(t *testing.T) {
+	bad := core.CPConfig40G()
+	bad.QrefBytes = bad.QmaxBytes + 1
+	if _, err := Program(Options{Core: bad}); err == nil {
+		t.Error("invalid core config accepted")
+	}
+	if _, err := Config(Options{Core: bad}); err == nil {
+		t.Error("invalid core config accepted by Config")
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	out, err := Config(Options{TMicros: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp ControlPlane
+	if err := json.Unmarshal([]byte(out), &cp); err != nil {
+		t.Fatalf("config is not valid JSON: %v", err)
+	}
+	if cp.TMicros != 40 || cp.QrefUnits != 250 || cp.FmaxUnits != 4000 {
+		t.Errorf("config values: %+v", cp)
+	}
+	if cp.AlphaTilde != 0.3 || cp.BetaTilde != 1.5 {
+		t.Errorf("gains: %+v", cp)
+	}
+	// Quantized units must reproduce the byte thresholds exactly.
+	if cp.QrefUnits*cp.DeltaQBytes != 150000 {
+		t.Error("Qref unit conversion broken")
+	}
+}
+
+func TestConfigFor100G(t *testing.T) {
+	out, err := Config(Options{Core: core.CPConfig100G()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp ControlPlane
+	json.Unmarshal([]byte(out), &cp)
+	if cp.FmaxUnits != 10000 || cp.QrefUnits != 500 {
+		t.Errorf("100G config: %+v", cp)
+	}
+}

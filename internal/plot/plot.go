@@ -1,0 +1,121 @@
+// Package plot renders time series and bar groups as ASCII charts for
+// cmd/roccsim and the examples, so the paper's figures can be eyeballed
+// straight from a terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rocc/internal/stats"
+)
+
+// Line renders one or more series as an ASCII line chart of the given
+// width and height. Series are drawn with distinct glyphs; a legend and
+// axis labels are appended.
+func Line(title string, width, height int, series ...*stats.Series) string {
+	if width < 16 {
+		width = 16
+	}
+	if height < 4 {
+		height = 4
+	}
+	glyphs := []byte{'*', '+', 'o', 'x', '#', '@'}
+
+	// Bounds across all series.
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	minV, maxV := 0.0, math.Inf(-1)
+	points := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			points++
+			minT = math.Min(minT, p.T)
+			maxT = math.Max(maxT, p.T)
+			maxV = math.Max(maxV, p.V)
+		}
+	}
+	if points == 0 {
+		return title + "\n(no data)\n"
+	}
+	if maxV <= minV {
+		maxV = minV + 1
+	}
+	if maxT <= minT {
+		maxT = minT + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			x := int(float64(width-1) * (p.T - minT) / (maxT - minT))
+			y := int(float64(height-1) * (p.V - minV) / (maxV - minV))
+			row := height - 1 - y
+			grid[row][x] = g
+		}
+	}
+
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.4g ", maxV)
+		case height - 1:
+			label = fmt.Sprintf("%7.4g ", minV)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "        +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "        %-10.4g%*.4g\n", minT, width-9, maxT)
+	if len(series) > 1 {
+		b.WriteString("        ")
+		for si, s := range series {
+			fmt.Fprintf(&b, "%c=%s  ", glyphs[si%len(glyphs)], s.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Bar is one labeled value in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// Bars renders a horizontal bar chart scaled to the given width.
+func Bars(title string, width int, unit string, bars []Bar) string {
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		fmt.Fprintf(&sb, "%s\n", title)
+	}
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(float64(width) * b.Value / max)
+		}
+		fmt.Fprintf(&sb, "  %-*s |%s %.4g %s\n", labelW, b.Label, strings.Repeat("=", n), b.Value, unit)
+	}
+	return sb.String()
+}

@@ -1,0 +1,92 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"rocc/internal/stats"
+)
+
+func mkSeries(name string, vals ...float64) *stats.Series {
+	s := &stats.Series{Name: name}
+	for i, v := range vals {
+		s.Add(float64(i), v)
+	}
+	return s
+}
+
+func TestLineBasics(t *testing.T) {
+	out := Line("queue", 40, 8, mkSeries("q", 0, 50, 100, 150, 150, 150))
+	if !strings.Contains(out, "queue") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data glyphs")
+	}
+	if !strings.Contains(out, "150") {
+		t.Error("max axis label missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + height rows + axis + labels
+	if len(lines) != 1+8+1+1 {
+		t.Errorf("chart has %d lines", len(lines))
+	}
+}
+
+func TestLineEmpty(t *testing.T) {
+	out := Line("x", 40, 8, &stats.Series{Name: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Error("empty chart not flagged")
+	}
+}
+
+func TestLineLegendForMultipleSeries(t *testing.T) {
+	out := Line("two", 30, 6, mkSeries("a", 1, 2), mkSeries("b", 2, 1))
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "+=b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestLineClampsTinyDimensions(t *testing.T) {
+	out := Line("t", 1, 1, mkSeries("a", 1, 2, 3))
+	if len(out) == 0 {
+		t.Error("clamped chart empty")
+	}
+}
+
+func TestLineConstantSeries(t *testing.T) {
+	// A flat series must not divide by zero.
+	out := Line("flat", 20, 5, mkSeries("a", 5, 5, 5))
+	if !strings.Contains(out, "*") {
+		t.Error("flat series not drawn")
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("pfc", 20, "frames", []Bar{
+		{Label: "DCQCN", Value: 700},
+		{Label: "RoCC", Value: 100},
+	})
+	if !strings.Contains(out, "DCQCN") || !strings.Contains(out, "RoCC") {
+		t.Error("labels missing")
+	}
+	dcqcnLine, roccLine := "", ""
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "DCQCN") {
+			dcqcnLine = l
+		}
+		if strings.Contains(l, "RoCC") {
+			roccLine = l
+		}
+	}
+	if strings.Count(dcqcnLine, "=") <= strings.Count(roccLine, "=") {
+		t.Error("bars not proportional")
+	}
+}
+
+func TestBarsZeroValues(t *testing.T) {
+	out := Bars("x", 20, "", []Bar{{Label: "a", Value: 0}})
+	if !strings.Contains(out, "a") {
+		t.Error("zero-value bar dropped")
+	}
+}

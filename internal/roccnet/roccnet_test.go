@@ -1,0 +1,239 @@
+package roccnet
+
+import (
+	"math"
+	"testing"
+
+	"rocc/internal/core"
+	"rocc/internal/flowtable"
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+func TestFairnessAcrossN(t *testing.T) {
+	for _, n := range []int{2, 5, 10} {
+		engine := sim.New()
+		net, srcs, dst, cp := buildStar(t, engine, n, 40)
+		var flows []*netsim.Flow
+		for _, src := range srcs {
+			flows = append(flows, net.StartFlow(src, dst, netsim.FlowConfig{
+				Size: -1, MaxRate: netsim.Gbps(36), CC: NewFlowCC(engine, src, RPOptions{}),
+			}))
+		}
+		engine.RunUntil(15 * sim.Millisecond)
+		want := 40000.0 / float64(n)
+		if got := cp.FairRateMbps(); math.Abs(got-want)/want > 0.1 {
+			t.Errorf("N=%d: fair rate %v, want ~%v", n, got, want)
+		}
+		var min, max int64 = 1 << 62, 0
+		for _, f := range flows {
+			d := f.DeliveredBytes()
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if float64(max-min)/float64(max) > 0.25 {
+			t.Errorf("N=%d: delivered spread %d..%d too wide", n, min, max)
+		}
+	}
+}
+
+func TestQueueStabilizesAtQref(t *testing.T) {
+	engine := sim.New()
+	net, srcs, dst, cp := buildStar(t, engine, 4, 40)
+	for _, src := range srcs {
+		net.StartFlow(src, dst, netsim.FlowConfig{
+			Size: -1, MaxRate: netsim.Gbps(36), CC: NewFlowCC(engine, src, RPOptions{}),
+		})
+	}
+	var sum, count float64
+	engine.NewTicker(100*sim.Microsecond, func() {
+		if engine.Now() > 8*sim.Millisecond {
+			sum += float64(cp.port.DataQueueBytes())
+			count++
+		}
+	})
+	engine.RunUntil(16 * sim.Millisecond)
+	avg := sum / count
+	if math.Abs(avg-150_000) > 30_000 {
+		t.Errorf("steady queue %f bytes, want ~Qref=150000", avg)
+	}
+}
+
+func TestCNPCarriesCPIdentity(t *testing.T) {
+	engine := sim.New()
+	net, srcs, dst, cp := buildStar(t, engine, 2, 40)
+	cc := NewFlowCC(engine, srcs[0], RPOptions{})
+	net.StartFlow(srcs[0], dst, netsim.FlowConfig{Size: -1, MaxRate: netsim.Gbps(36), CC: cc})
+	net.StartFlow(srcs[1], dst, netsim.FlowConfig{
+		Size: -1, MaxRate: netsim.Gbps(36), CC: NewFlowCC(engine, srcs[1], RPOptions{}),
+	})
+	engine.RunUntil(5 * sim.Millisecond)
+	if !cc.RP().Installed() {
+		t.Fatal("rate limiter never installed")
+	}
+	want := core.CPKey{Node: int64(cp.sw.ID()), Port: cp.port.Index}
+	if cc.RP().CurrentCP() != want {
+		t.Errorf("CPcur = %+v, want %+v", cc.RP().CurrentCP(), want)
+	}
+}
+
+func TestFastRecoveryUninstallsAfterCongestionEnds(t *testing.T) {
+	engine := sim.New()
+	net, srcs, dst, _ := buildStar(t, engine, 2, 40)
+	cc0 := NewFlowCC(engine, srcs[0], RPOptions{})
+	f0 := net.StartFlow(srcs[0], dst, netsim.FlowConfig{Size: -1, MaxRate: netsim.Gbps(36), CC: cc0})
+	f1 := net.StartFlow(srcs[1], dst, netsim.FlowConfig{
+		Size: -1, MaxRate: netsim.Gbps(36), CC: NewFlowCC(engine, srcs[1], RPOptions{}),
+	})
+	engine.RunUntil(8 * sim.Millisecond)
+	if !cc0.RP().Installed() {
+		t.Fatal("RL not installed under congestion")
+	}
+	f1.Stop() // congestion ends; offered 36 < 40, queue drains
+	engine.RunUntil(20 * sim.Millisecond)
+	if cc0.RP().Installed() {
+		t.Errorf("RL still installed %v after congestion ended (rate %v)",
+			engine.Now(), cc0.RP().RateMbps())
+	}
+	// The freed flow must be back near its offered rate.
+	before := f0.DeliveredBytes()
+	engine.RunUntil(25 * sim.Millisecond)
+	gbps := float64(f0.DeliveredBytes()-before) * 8 / 0.005 / 1e9
+	if gbps < 33 {
+		t.Errorf("post-recovery goodput %.1f Gb/s, want ~36", gbps)
+	}
+}
+
+func TestHostComputedModeConverges(t *testing.T) {
+	engine := sim.New()
+	net := netsim.New(engine, 1)
+	sw := net.AddSwitch("s0", netsim.BufferConfig{PFCEnabled: true, PFCThreshold: 500 * netsim.KB})
+	dst := net.AddHost("dst")
+	var srcs []*netsim.Host
+	for i := 0; i < 4; i++ {
+		h := net.AddHost("src")
+		net.Connect(h, sw, netsim.Gbps(40), 1500*sim.Nanosecond)
+		srcs = append(srcs, h)
+	}
+	swPort, _ := net.Connect(sw, dst, netsim.Gbps(40), 1500*sim.Nanosecond)
+	net.ComputeRoutes()
+	cfg := core.CPConfig40G()
+	Attach(net, sw, swPort, CPOptions{HostComputed: true, Core: cfg})
+	registry := func(core.CPKey) core.CPConfig { return cfg }
+	for _, src := range srcs {
+		net.StartFlow(src, dst, netsim.FlowConfig{
+			Size: -1, MaxRate: netsim.Gbps(36),
+			CC: NewFlowCC(engine, src, RPOptions{HostRegistry: registry}),
+		})
+	}
+	engine.RunUntil(15 * sim.Millisecond)
+	q := swPort.DataQueueBytes()
+	if q < 80*netsim.KB || q > 260*netsim.KB {
+		t.Errorf("host-computed queue = %d, want near Qref", q)
+	}
+	tput := float64(dst.RxDataBytes) * 8 / engine.Now().Seconds() / 1e9
+	if tput < 30 {
+		t.Errorf("host-computed throughput = %.1f Gb/s", tput)
+	}
+}
+
+func TestFlowTableVariantsAllConverge(t *testing.T) {
+	tables := map[string]func() flowtable.Table{
+		"queue":        func() flowtable.Table { return flowtable.NewQueueTable() },
+		"bounded":      func() flowtable.Table { return flowtable.NewBoundedTable(400, 500*sim.Microsecond) },
+		"afd":          func() flowtable.Table { return flowtable.NewAFDTable(3000, 64) },
+		"elephanttrap": func() flowtable.Table { return flowtable.NewElephantTrap(0.25, 64, sim.NewRand(7)) },
+		"bubblecache":  func() flowtable.Table { return flowtable.NewBubbleCache(0.5, 16, 64, 2, sim.NewRand(7)) },
+	}
+	for name, mk := range tables {
+		engine := sim.New()
+		net := netsim.New(engine, 1)
+		sw := net.AddSwitch("s0", netsim.BufferConfig{PFCEnabled: true, PFCThreshold: 500 * netsim.KB})
+		dst := net.AddHost("dst")
+		var srcs []*netsim.Host
+		for i := 0; i < 4; i++ {
+			h := net.AddHost("src")
+			net.Connect(h, sw, netsim.Gbps(40), 1500*sim.Nanosecond)
+			srcs = append(srcs, h)
+		}
+		swPort, _ := net.Connect(sw, dst, netsim.Gbps(40), 1500*sim.Nanosecond)
+		net.ComputeRoutes()
+		Attach(net, sw, swPort, CPOptions{Table: mk()})
+		for _, src := range srcs {
+			net.StartFlow(src, dst, netsim.FlowConfig{
+				Size: -1, MaxRate: netsim.Gbps(36), CC: NewFlowCC(engine, src, RPOptions{}),
+			})
+		}
+		engine.RunUntil(15 * sim.Millisecond)
+		tput := float64(dst.RxDataBytes) * 8 / engine.Now().Seconds() / 1e9
+		if tput < 25 {
+			t.Errorf("%s: throughput %.1f Gb/s, want high", name, tput)
+		}
+		if q := swPort.DataQueueBytes(); q > 450*netsim.KB {
+			t.Errorf("%s: queue %d runaway", name, q)
+		}
+	}
+}
+
+func TestMinSignalSuppressesIdleCNPs(t *testing.T) {
+	engine := sim.New()
+	net, srcs, dst, cp := buildStar(t, engine, 1, 40)
+	// A single source at 50% load never congests the bottleneck.
+	net.StartFlow(srcs[0], dst, netsim.FlowConfig{
+		Size: -1, MaxRate: netsim.Gbps(20), CC: NewFlowCC(engine, srcs[0], RPOptions{}),
+	})
+	engine.RunUntil(5 * sim.Millisecond)
+	if cp.CNPsSent != 0 {
+		t.Errorf("%d CNPs sent on an uncongested port", cp.CNPsSent)
+	}
+}
+
+func TestStopCancelsCPTicker(t *testing.T) {
+	engine := sim.New()
+	_, _, _, cp := buildStar(t, engine, 1, 40)
+	updates := cp.Core().Updates
+	cp.Stop()
+	engine.RunUntil(5 * sim.Millisecond)
+	if cp.Core().Updates != updates {
+		t.Error("CP still updating after Stop")
+	}
+}
+
+func TestMDEngagesOnBurst(t *testing.T) {
+	engine := sim.New()
+	net, srcs, dst, cp := buildStar(t, engine, 8, 40)
+	for _, src := range srcs {
+		net.StartFlow(src, dst, netsim.FlowConfig{
+			Size: -1, MaxRate: netsim.Gbps(36), CC: NewFlowCC(engine, src, RPOptions{}),
+		})
+	}
+	engine.RunUntil(2 * sim.Millisecond)
+	if cp.Core().MDFloorCount+cp.Core().MDHalveCount == 0 {
+		t.Error("8x36G burst into 40G did not trigger MD")
+	}
+}
+
+func TestCNPsAreICMPLikeAndPrioritized(t *testing.T) {
+	engine := sim.New()
+	net, srcs, dst, cp := buildStar(t, engine, 4, 40)
+	for _, src := range srcs {
+		net.StartFlow(src, dst, netsim.FlowConfig{
+			Size: -1, MaxRate: netsim.Gbps(36), CC: NewFlowCC(engine, src, RPOptions{}),
+		})
+	}
+	engine.RunUntil(5 * sim.Millisecond)
+	if cp.CNPsSent == 0 {
+		t.Fatal("no CNPs under congestion")
+	}
+	total := uint64(0)
+	for _, src := range srcs {
+		total += src.CNPsRx
+	}
+	if total == 0 {
+		t.Fatal("CNPs never delivered to sources")
+	}
+}

@@ -1,0 +1,174 @@
+package roccnet
+
+import (
+	"rocc/internal/core"
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+// RPOptions configures the per-flow reaction point.
+type RPOptions struct {
+	// RmaxMbps is the maximum send rate (the NIC link bandwidth).
+	RmaxMbps float64
+
+	// DeltaFMbps is ΔF; must match the CPs. Defaults to 10.
+	DeltaFMbps float64
+
+	// RecoveryTimer is the fast-recovery interval (Alg. 2's timer).
+	// It must comfortably exceed the CP update interval T, or a flow
+	// doubles its rate between two consecutive CNPs it legitimately
+	// receives and the loop never settles. Defaults to 200 µs (T is
+	// 40-100 µs in the paper's configurations).
+	RecoveryTimer sim.Time
+
+	// HostRegistry, when non-nil, enables the §3.6 host-computed mode:
+	// the RP replicates the CP's fair-rate computation from raw queue
+	// observations using this per-CP parameter registry.
+	HostRegistry func(cp core.CPKey) core.CPConfig
+
+	// HostT is the CP update interval assumed by the host replica in
+	// host-computed mode. When CNPs stop flowing (the flow left the
+	// congested queue), the replica runs catch-up iterations with empty
+	// queue observations for the missed intervals, exactly as the
+	// switch-side controller would have. Defaults to 40 µs.
+	HostT sim.Time
+}
+
+func (o *RPOptions) fill() {
+	if o.DeltaFMbps == 0 {
+		o.DeltaFMbps = 10
+	}
+	if o.RecoveryTimer == 0 {
+		o.RecoveryTimer = 200 * sim.Microsecond
+	}
+	if o.HostT == 0 {
+		o.HostT = 40 * sim.Microsecond
+	}
+}
+
+// FlowCC is the RoCC reaction point as a netsim flow controller: it paces
+// the flow at the fair rate of its most congested CP and exponentially
+// recovers when CNPs stop (§3.5).
+type FlowCC struct {
+	engine *sim.Engine
+	host   *netsim.Host
+	opts   RPOptions
+
+	rp       *core.RP
+	hostCP   *core.HostCP
+	lastCNPs map[core.CPKey]sim.Time
+	pacer    netsim.Pacer
+	timer    *sim.Event
+}
+
+// NewFlowCC builds a reaction point for a flow originating at host.
+func NewFlowCC(engine *sim.Engine, host *netsim.Host, opts RPOptions) *FlowCC {
+	opts.fill()
+	if opts.RmaxMbps == 0 {
+		opts.RmaxMbps = host.NIC().LinkRate.Mbps()
+	}
+	cc := &FlowCC{
+		engine: engine,
+		host:   host,
+		opts:   opts,
+		rp:     core.NewRP(core.RPConfig{DeltaFMbps: opts.DeltaFMbps, RmaxMbps: opts.RmaxMbps}),
+	}
+	if opts.HostRegistry != nil {
+		cc.hostCP = core.NewHostCP(opts.HostRegistry)
+	}
+	return cc
+}
+
+// RP exposes the underlying Alg. 2 state for instrumentation.
+func (cc *FlowCC) RP() *core.RP { return cc.rp }
+
+// Allow implements netsim.FlowCC: unconstrained until the rate limiter is
+// installed, then paced at the accepted fair rate.
+func (cc *FlowCC) Allow(now sim.Time, payload int) (sim.Time, bool) {
+	if !cc.rp.Installed() {
+		return now, true
+	}
+	return cc.pacer.Next(now), true
+}
+
+// OnSent implements netsim.FlowCC.
+func (cc *FlowCC) OnSent(now sim.Time, pkt *netsim.Packet) {
+	if cc.rp.Installed() {
+		cc.pacer.Consume(now, netsim.Mbps(cc.rp.RateMbps()), pkt.Size)
+	}
+}
+
+// OnAck implements netsim.FlowCC. RoCC does not use ACKs.
+func (cc *FlowCC) OnAck(now sim.Time, pkt *netsim.Packet) {}
+
+// OnCNP implements netsim.FlowCC: Alg. 2's Process_CNP.
+func (cc *FlowCC) OnCNP(now sim.Time, pkt *netsim.Packet) {
+	info := pkt.CNP
+	if info == nil {
+		return
+	}
+	cpKey := core.CPKey{Node: int64(info.CP.Node), Port: info.CP.Port}
+	rateUnits := info.RateUnits
+	if info.HostComputed {
+		if cc.hostCP == nil {
+			cc.hostCP = core.NewHostCP(nil)
+		}
+		if cc.lastCNPs == nil {
+			cc.lastCNPs = make(map[core.CPKey]sim.Time)
+		}
+		// Catch up on intervals the CP computed but did not signal to
+		// this flow (it was not contributing to the queue then, so the
+		// queue it would have reported is approximated as empty).
+		if last, ok := cc.lastCNPs[cpKey]; ok {
+			missed := int((now-last)/cc.opts.HostT) - 1
+			if missed > 256 {
+				missed = 256
+			}
+			for i := 0; i < missed; i++ {
+				cc.hostCP.Compute(cpKey, 0, 0)
+			}
+		}
+		cc.lastCNPs[cpKey] = now
+		rateUnits = cc.hostCP.Compute(cpKey, info.QCurUnits, info.QOldUnits)
+	}
+	if cc.rp.ProcessCNP(rateUnits, cpKey) {
+		cc.resetTimer()
+	}
+}
+
+// CurrentRate implements netsim.FlowCC.
+func (cc *FlowCC) CurrentRate() netsim.Rate {
+	if !cc.rp.Installed() {
+		return netsim.Mbps(cc.opts.RmaxMbps)
+	}
+	return netsim.Mbps(cc.rp.RateMbps())
+}
+
+// Stop cancels the fast-recovery timer (flow teardown).
+func (cc *FlowCC) Stop() {
+	if cc.timer != nil {
+		cc.timer.Cancel()
+		cc.timer = nil
+	}
+}
+
+func (cc *FlowCC) resetTimer() {
+	if cc.timer != nil {
+		cc.timer.Cancel()
+	}
+	cc.timer = cc.engine.After(cc.opts.RecoveryTimer, cc.onTimer)
+}
+
+// onTimer is Alg. 2's Timer_Expired: double the rate, or uninstall the
+// rate limiter once it exceeds Rmax.
+func (cc *FlowCC) onTimer() {
+	cc.timer = nil
+	if cc.rp.TimerExpired() {
+		// Rate limiter removed; the flow transmits unconstrained until
+		// the next CNP. No timer needed.
+		cc.pacer.Reset()
+	} else {
+		cc.resetTimer()
+	}
+	cc.host.Kick()
+}

@@ -1,0 +1,69 @@
+package stats
+
+import "sort"
+
+// FCTSample records one completed flow.
+type FCTSample struct {
+	Size    int     // flow size in bytes
+	Seconds float64 // flow completion time
+	Rate    float64 // average goodput in bits/s
+}
+
+// FCTRecorder accumulates completed-flow samples during a run.
+type FCTRecorder struct {
+	Samples []FCTSample
+}
+
+// Record adds a completed flow.
+func (r *FCTRecorder) Record(size int, seconds float64) {
+	rate := 0.0
+	if seconds > 0 {
+		rate = float64(size) * 8 / seconds
+	}
+	r.Samples = append(r.Samples, FCTSample{Size: size, Seconds: seconds, Rate: rate})
+}
+
+// BinStat is the per-size-bin FCT statistic the paper's Figs 14-16 plot.
+type BinStat struct {
+	UpperBytes int // inclusive upper edge of the bin
+	Count      int
+	AvgMs      float64
+	P90Ms      float64
+	P99Ms      float64
+}
+
+// BinBysize groups samples into the given size bins (inclusive upper edges,
+// ascending; flows above the last edge land in the last bin) and summarizes
+// FCT per bin in milliseconds.
+func (r *FCTRecorder) BinBySize(edges []int) []BinStat {
+	groups := make([][]float64, len(edges))
+	for _, s := range r.Samples {
+		idx := sort.SearchInts(edges, s.Size)
+		if idx >= len(edges) {
+			idx = len(edges) - 1
+		}
+		groups[idx] = append(groups[idx], s.Seconds*1e3)
+	}
+	out := make([]BinStat, len(edges))
+	for i, g := range groups {
+		sum := Summarize(g)
+		out[i] = BinStat{
+			UpperBytes: edges[i],
+			Count:      sum.Count,
+			AvgMs:      sum.Mean,
+			P90Ms:      sum.P90,
+			P99Ms:      sum.P99,
+		}
+	}
+	return out
+}
+
+// RateStats returns mean and standard deviation of per-flow average rates in
+// Mb/s, as Table 3 reports.
+func (r *FCTRecorder) RateStats() (meanMbps, stddevMbps float64) {
+	rates := make([]float64, 0, len(r.Samples))
+	for _, s := range r.Samples {
+		rates = append(rates, s.Rate/1e6)
+	}
+	return Mean(rates), StdDev(rates)
+}

@@ -1,0 +1,77 @@
+package stats
+
+// Point is one sample of a time series: a timestamp in seconds and a value.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series used to record queue sizes, fair
+// rates and per-flow throughputs over a run.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t, v float64) { s.Points = append(s.Points, Point{T: t, V: v}) }
+
+// Last returns the most recent value, or 0 if the series is empty.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// MeanAfter returns the mean of all samples with T >= t0. It is used to
+// measure steady-state values while skipping the transient.
+func (s *Series) MeanAfter(t0 float64) float64 {
+	var sum float64
+	var n int
+	for _, p := range s.Points {
+		if p.T >= t0 {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// MaxAfter returns the maximum of all samples with T >= t0, or 0 when none.
+func (s *Series) MaxAfter(t0 float64) float64 {
+	var max float64
+	var seen bool
+	for _, p := range s.Points {
+		if p.T >= t0 {
+			if !seen || p.V > max {
+				max = p.V
+				seen = true
+			}
+		}
+	}
+	return max
+}
+
+// StdDevAfter returns the sample standard deviation of samples with T >= t0.
+func (s *Series) StdDevAfter(t0 float64) float64 {
+	var vals []float64
+	for _, p := range s.Points {
+		if p.T >= t0 {
+			vals = append(vals, p.V)
+		}
+	}
+	return StdDev(vals)
+}
+
+// Values returns all sample values in order.
+func (s *Series) Values() []float64 {
+	vs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		vs[i] = p.V
+	}
+	return vs
+}

@@ -1,0 +1,134 @@
+// Package stats provides the small statistical toolkit the evaluation
+// harness needs: percentiles, summary statistics, 95% confidence intervals
+// across repeated runs, time-series recording, and per-bin aggregation of
+// flow completion times.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs (n-1 denominator),
+// or 0 when fewer than two samples are present.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)-1))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between closest ranks. It returns 0 for an empty slice.
+// xs is not modified.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary bundles the statistics the paper reports for a sample set.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	P50    float64
+	P90    float64
+	P99    float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs. xs is not modified.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return Summary{
+		Count:  len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		P50:    percentileSorted(sorted, 50),
+		P90:    percentileSorted(sorted, 90),
+		P99:    percentileSorted(sorted, 99),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+	}
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the mean
+// of xs, using the normal approximation (1.96 * stderr). The paper reports
+// averages of 5 repetitions with 95% confidence intervals.
+func CI95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// MeanCI returns the mean of xs together with its 95% CI half-width.
+func MeanCI(xs []float64) (mean, ci float64) {
+	return Mean(xs), CI95(xs)
+}
+
+// JainIndex returns Jain's fairness index (Σx)² / (n·Σx²): 1.0 for a
+// perfectly even allocation, 1/n when one member takes everything.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

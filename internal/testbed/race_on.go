@@ -1,0 +1,9 @@
+//go:build race
+
+package testbed
+
+// raceEnabled reports whether the race detector is active. The real-time
+// convergence tests are skipped under -race: instrumentation slows the
+// software switch ~10x, which breaks its pacing budget (a performance
+// artifact, not a correctness issue).
+const raceEnabled = true

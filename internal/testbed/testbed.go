@@ -1,0 +1,444 @@
+// Package testbed deploys the RoCC CP and RP algorithms over real UDP
+// sockets on the loopback interface, standing in for the paper's DPDK
+// evaluation (§6.2): a user-space software switch forwards client
+// datagrams to a sink at a configured drain rate, runs the fair-rate
+// timer over its real egress queue, and sends CNPs back to the clients
+// on a control socket (the analog of the paper's ICMP type 253).
+//
+// Unlike the simulator, everything here runs in real time on the OS
+// network stack: kernel scheduling jitter, socket buffering, and timer
+// coarseness all perturb the control loop, which is exactly what the
+// paper's DPDK experiment was designed to validate. Link speed is scaled
+// down (a software switch cannot drain 10 Gb/s of 1 KB datagrams), with
+// the CP parameters scaled per §5.2's bandwidth-delay guidance.
+package testbed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rocc/internal/core"
+)
+
+// Message types on the wire.
+const (
+	msgData byte = 1
+	msgCNP  byte = 2
+)
+
+// headerLen is flow id (4) + type (1) + padding (3).
+const headerLen = 8
+
+// Config parameterizes a testbed run.
+type Config struct {
+	// DrainRate is the software switch's egress bandwidth in bits/s.
+	DrainRate float64
+
+	// T is the CP update interval.
+	T time.Duration
+
+	// CP holds the Alg. 1 parameters. Zero selects the §6.2 thresholds
+	// (75/150/210 KB) with ΔF scaled to the drain rate.
+	CP core.CPConfig
+
+	// Payload is the datagram payload size.
+	Payload int
+
+	// RecoveryTimer is the RP fast-recovery interval.
+	RecoveryTimer time.Duration
+}
+
+// DefaultConfig returns a laptop-friendly configuration: a 400 Mb/s
+// software switch with the paper's testbed queue thresholds and T scaled
+// to keep T·C/2 ≈ Qref.
+func DefaultConfig() Config {
+	cfg := core.CPConfig40G()
+	cfg.DeltaFMbps = 1 // finer rate units at software speeds
+	// The derivative gain is softened relative to the paper's switch
+	// values: kernel scheduling makes arrivals bursty at the quantum
+	// scale, and a full-strength β term rectifies that noise into a
+	// downward rate bias (the queue cannot go below zero).
+	cfg.BetaTilde = 0.5
+	cfg.QrefBytes = 75 * 1000
+	cfg.QmidBytes = 150 * 1000
+	cfg.QmaxBytes = 210 * 1000
+	cfg.FminMbps = 1
+	cfg.FmaxMbps = 400
+	return Config{
+		DrainRate:     400e6,
+		T:             1500 * time.Microsecond, // ≈ 2·Qref/C at 400 Mb/s, per §5.2
+		CP:            cfg,
+		Payload:       1000,
+		RecoveryTimer: 6 * time.Millisecond,
+	}
+}
+
+// Switch is the user-space software switch with one congestion point.
+type Switch struct {
+	cfg  Config
+	conn *net.UDPConn
+	sink *net.UDPConn // local socket of the sink receiver
+
+	mu        sync.Mutex
+	queue     [][]byte
+	queueSize int
+	flowBytes map[uint32]int
+	flowSeen  map[uint32]time.Time
+	flowAddr  map[uint32]*net.UDPAddr
+	cp        *core.CP
+
+	fairRate atomic.Int64 // milli-Mb/s for atomic reads
+	qlen     atomic.Int64
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// Counters.
+	Forwarded atomic.Int64
+	CNPsSent  atomic.Int64
+}
+
+// NewSwitch starts a software switch listening on a loopback UDP port.
+func NewSwitch(cfg Config) (*Switch, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("testbed: switch listen: %w", err)
+	}
+	conn.SetReadBuffer(4 << 20) // keep the fabric lossless under bursts
+	sink, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("testbed: sink listen: %w", err)
+	}
+	sink.SetReadBuffer(4 << 20)
+	s := &Switch{
+		cfg:       cfg,
+		conn:      conn,
+		sink:      sink,
+		flowBytes: make(map[uint32]int),
+		flowSeen:  make(map[uint32]time.Time),
+		flowAddr:  make(map[uint32]*net.UDPAddr),
+		cp:        core.NewCP(cfg.CP),
+		done:      make(chan struct{}),
+	}
+	s.wg.Add(3)
+	go s.receiveLoop()
+	go s.drainLoop()
+	go s.cpLoop()
+	go s.sinkLoop()
+	return s, nil
+}
+
+// Addr returns the switch's data address clients send to.
+func (s *Switch) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// QueueBytes returns the current egress queue occupancy.
+func (s *Switch) QueueBytes() int { return int(s.qlen.Load()) }
+
+// FairRateMbps returns the CP's current fair rate.
+func (s *Switch) FairRateMbps() float64 { return float64(s.fairRate.Load()) / 1000 }
+
+// Close stops the switch.
+func (s *Switch) Close() {
+	close(s.done)
+	s.conn.Close()
+	s.sink.Close()
+	s.wg.Wait()
+}
+
+// receiveLoop ingests client datagrams into the egress queue.
+func (s *Switch) receiveLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		if n < headerLen || buf[4] != msgData {
+			continue
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		flow := binary.BigEndian.Uint32(pkt[0:4])
+		s.mu.Lock()
+		s.queue = append(s.queue, pkt)
+		s.queueSize += n
+		s.flowAddr[flow] = addr
+		s.flowSeen[flow] = time.Now()
+		s.flowBytes[flow] += n
+		s.qlen.Store(int64(s.queueSize))
+		s.mu.Unlock()
+	}
+}
+
+// drainLoop forwards queued datagrams to the sink at the drain rate.
+// Sub-millisecond sleeps overshoot badly on a stock kernel, so the loop
+// runs a token bucket with sub-millisecond quanta: it forwards a
+// quantum's worth of bytes back to back, then sleeps.
+func (s *Switch) drainLoop() {
+	defer s.wg.Done()
+	sinkAddr := s.sink.LocalAddr().(*net.UDPAddr)
+	const quantum = 250 * time.Microsecond
+	credit := 0.0 // bytes
+	last := time.Now()
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+		now := time.Now()
+		elapsed := now.Sub(last)
+		last = now
+		credit += s.cfg.DrainRate / 8 * elapsed.Seconds()
+		if max := s.cfg.DrainRate / 8 * 0.002; credit > max {
+			credit = max // cap burst at 4 ms worth
+		}
+		for {
+			s.mu.Lock()
+			var pkt []byte
+			if len(s.queue) > 0 && credit >= float64(len(s.queue[0])) {
+				pkt = s.queue[0]
+				copy(s.queue, s.queue[1:])
+				s.queue = s.queue[:len(s.queue)-1]
+				s.queueSize -= len(pkt)
+				flow := binary.BigEndian.Uint32(pkt[0:4])
+				if b := s.flowBytes[flow] - len(pkt); b > 0 {
+					s.flowBytes[flow] = b
+				} else {
+					delete(s.flowBytes, flow)
+				}
+				s.qlen.Store(int64(s.queueSize))
+			}
+			s.mu.Unlock()
+			if pkt == nil {
+				break
+			}
+			credit -= float64(len(pkt))
+			s.conn.WriteToUDP(pkt, sinkAddr)
+			s.Forwarded.Add(1)
+		}
+		time.Sleep(quantum)
+	}
+}
+
+// cpLoop runs Alg. 1 every T and sends CNPs to queued flows.
+func (s *Switch) cpLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.T)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-ticker.C:
+		}
+		s.mu.Lock()
+		q := s.queueSize
+		rateUnits := s.cp.Update(q)
+		s.fairRate.Store(int64(s.cp.FairRateMbps() * 1000))
+		type dest struct {
+			flow uint32
+			addr *net.UDPAddr
+		}
+		var dests []dest
+		// Recipients: every flow seen recently (a single-CP deployment
+		// keeps sources pinned to the fair rate; the bounded/age-based
+		// table of §3.4 option 2). Stale flows age out.
+		cutoff := time.Now().Add(-5 * s.cfg.T)
+		for flow, seen := range s.flowSeen {
+			if seen.Before(cutoff) {
+				delete(s.flowSeen, flow)
+				delete(s.flowAddr, flow)
+				continue
+			}
+			dests = append(dests, dest{flow, s.flowAddr[flow]})
+		}
+		s.mu.Unlock()
+		for _, d := range dests {
+			cnp := make([]byte, headerLen+4)
+			binary.BigEndian.PutUint32(cnp[0:4], d.flow)
+			cnp[4] = msgCNP
+			binary.BigEndian.PutUint32(cnp[headerLen:], uint32(rateUnits))
+			s.conn.WriteToUDP(cnp, d.addr)
+			s.CNPsSent.Add(1)
+		}
+	}
+}
+
+// sinkLoop drains the sink socket (the destination host).
+func (s *Switch) sinkLoop() {
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := s.sink.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		_ = n
+	}
+}
+
+// Client is a traffic source with a RoCC reaction point.
+type Client struct {
+	cfg     Config
+	flow    uint32
+	conn    *net.UDPConn
+	swAddr  *net.UDPAddr
+	offered float64 // bits/s
+
+	mu    sync.Mutex
+	rp    *core.RP
+	timer *time.Timer
+
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	SentBytes atomic.Int64
+	CNPsRecv  atomic.Int64
+}
+
+// NewClient starts a client sending flow `flow` at the offered rate
+// (bits/s) toward the switch.
+func NewClient(cfg Config, flow uint32, sw *Switch, offeredBps float64) (*Client, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("testbed: client listen: %w", err)
+	}
+	c := &Client{
+		cfg:     cfg,
+		flow:    flow,
+		conn:    conn,
+		swAddr:  sw.Addr(),
+		offered: offeredBps,
+		rp: core.NewRP(core.RPConfig{
+			DeltaFMbps: cfg.CP.DeltaFMbps,
+			RmaxMbps:   cfg.CP.FmaxMbps,
+		}),
+		done: make(chan struct{}),
+	}
+	c.wg.Add(2)
+	go c.sendLoop()
+	go c.cnpLoop()
+	return c, nil
+}
+
+// Rate returns the client's current sending rate in Mb/s.
+func (c *Client) Rate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.currentRateLocked() / 1e6
+}
+
+func (c *Client) currentRateLocked() float64 {
+	rate := c.offered
+	if c.rp.Installed() {
+		if r := c.rp.RateMbps() * 1e6; r < rate {
+			rate = r
+		}
+	}
+	if rate < 1e6 {
+		rate = 1e6
+	}
+	return rate
+}
+
+// Close stops the client.
+func (c *Client) Close() {
+	close(c.done)
+	c.conn.Close()
+	c.mu.Lock()
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// sendLoop paces data datagrams at min(offered, RP rate).
+func (c *Client) sendLoop() {
+	defer c.wg.Done()
+	pkt := make([]byte, headerLen+c.cfg.Payload)
+	binary.BigEndian.PutUint32(pkt[0:4], c.flow)
+	pkt[4] = msgData
+	// Token-bucket pacing with sub-millisecond quanta (see drainLoop).
+	const quantum = 250 * time.Microsecond
+	credit := 0.0
+	last := time.Now()
+	for {
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		now := time.Now()
+		elapsed := now.Sub(last)
+		last = now
+		c.mu.Lock()
+		rate := c.currentRateLocked()
+		c.mu.Unlock()
+		credit += rate / 8 * elapsed.Seconds()
+		if max := rate / 8 * 0.002; credit > max {
+			credit = max
+		}
+		for credit >= float64(len(pkt)) {
+			c.conn.WriteToUDP(pkt, c.swAddr)
+			c.SentBytes.Add(int64(len(pkt)))
+			credit -= float64(len(pkt))
+		}
+		time.Sleep(quantum)
+	}
+}
+
+// cnpLoop processes CNPs through Alg. 2 with a real fast-recovery timer.
+func (c *Client) cnpLoop() {
+	defer c.wg.Done()
+	buf := make([]byte, 2048)
+	cpKey := core.CPKey{Node: 1, Port: 0}
+	for {
+		n, _, err := c.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		if n < headerLen+4 || buf[4] != msgCNP {
+			continue
+		}
+		rateUnits := int(binary.BigEndian.Uint32(buf[headerLen:]))
+		c.CNPsRecv.Add(1)
+		c.mu.Lock()
+		if c.rp.ProcessCNP(rateUnits, cpKey) {
+			c.resetTimerLocked()
+		}
+		c.mu.Unlock()
+	}
+}
+
+func (c *Client) resetTimerLocked() {
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.timer = time.AfterFunc(c.cfg.RecoveryTimer, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		select {
+		case <-c.done:
+			return
+		default:
+		}
+		if !c.rp.TimerExpired() {
+			c.resetTimerLocked()
+		}
+	})
+}
+
+// MDCounts reports how many times the CP's multiplicative-decrease paths
+// fired (instrumentation for tuning and tests).
+func (s *Switch) MDCounts() (floor, halve int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp.MDFloorCount, s.cp.MDHalveCount
+}

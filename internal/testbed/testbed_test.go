@@ -1,0 +1,145 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSwitchLifecycle(t *testing.T) {
+	sw, err := NewSwitch(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Addr() == nil || sw.Addr().Port == 0 {
+		t.Error("switch has no address")
+	}
+	if sw.QueueBytes() != 0 {
+		t.Error("fresh switch has a queue")
+	}
+	sw.Close() // must not hang or panic
+}
+
+func TestClientLifecycle(t *testing.T) {
+	cfg := DefaultConfig()
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	c, err := NewClient(cfg, 1, sw, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if c.SentBytes.Load() == 0 {
+		t.Error("client sent nothing")
+	}
+	c.Close()
+}
+
+func TestDataFlowsThroughSwitch(t *testing.T) {
+	cfg := DefaultConfig()
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	c, err := NewClient(cfg, 1, sw, 50e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for sw.Forwarded.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sw.Forwarded.Load() == 0 {
+		t.Fatal("switch forwarded nothing")
+	}
+}
+
+func TestClientPacingApproximatesOfferedRate(t *testing.T) {
+	cfg := DefaultConfig()
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	const offered = 80e6
+	c, err := NewClient(cfg, 1, sw, offered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	time.Sleep(200 * time.Millisecond)
+	start := c.SentBytes.Load()
+	time.Sleep(500 * time.Millisecond)
+	rate := float64(c.SentBytes.Load()-start) * 8 / 0.5
+	if rate < offered*0.7 || rate > offered*1.3 {
+		t.Errorf("client paced at %.0f bps, offered %.0f", rate, offered)
+	}
+}
+
+// TestUniformScenarioConverges is the Fig. 13 integration check on real
+// sockets: three full-rate clients must share the switch fairly with the
+// queue under control. Real-time and scheduler-dependent, so tolerances
+// are loose and the whole test is skipped in -short runs.
+func TestUniformScenarioConverges(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("real-time testbed run (skipped under -short and -race)")
+	}
+	cfg := DefaultConfig()
+	res, err := Run(cfg, Uniform, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := cfg.DrainRate / 3 / 1e6
+	for i, r := range res.ClientRates {
+		if r < ideal*0.6 || r > ideal*1.2 {
+			t.Errorf("client %d at %.1f Mb/s, ideal %.1f", i, r, ideal)
+		}
+	}
+	// Fairness across the three equal clients must be tight even when
+	// absolute throughput drifts with scheduling.
+	min, max := res.ClientRates[0], res.ClientRates[0]
+	for _, r := range res.ClientRates {
+		if r < min {
+			min = r
+		}
+		if r > max {
+			max = r
+		}
+	}
+	if (max-min)/max > 0.15 {
+		t.Errorf("client rates spread too wide: %v", res.ClientRates)
+	}
+	if res.SteadyQueKB > float64(cfg.CP.QmaxBytes)/1000 {
+		t.Errorf("queue %.0f KB above Qmax", res.SteadyQueKB)
+	}
+	if res.CNPs == 0 {
+		t.Error("no CNPs delivered")
+	}
+}
+
+func TestMixedScenarioProtectsInnocents(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("real-time testbed run (skipped under -short and -race)")
+	}
+	cfg := DefaultConfig()
+	res, err := Run(cfg, Mixed, 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Client 3 offers 10% of the drain rate: far below fair share, it
+	// must get (nearly) everything it asks for.
+	innocent := res.ClientRates[2]
+	offered := 0.1 * cfg.DrainRate / 1e6
+	if innocent < offered*0.8 {
+		t.Errorf("innocent flow got %.1f of %.1f Mb/s", innocent, offered)
+	}
+	// Client 1 (greedy) must get more than the lower offers but not
+	// starve them.
+	if res.ClientRates[0] < res.ClientRates[2] {
+		t.Errorf("greedy flow below innocent flow: %v", res.ClientRates)
+	}
+}

@@ -1,0 +1,157 @@
+// Package workload generates the paper's traffic: heavy-tailed flow-size
+// distributions shaped after the public WebSearch [2, 28] and FB_Hadoop
+// [28, 35] traces, open-loop Poisson flow arrivals at a target average
+// link load, and the incast/permutation patterns of §6.
+//
+// The CDFs are synthetic stand-ins for the original traces (which are not
+// redistributable): their support points are exactly the size bins the
+// paper's Figs. 14-16 report, so per-bin FCT comparisons line up, and
+// their tails carry the same elephant/mice character the evaluation
+// depends on.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"rocc/internal/sim"
+)
+
+// CDFPoint is one support point of a flow-size CDF.
+type CDFPoint struct {
+	Bytes int
+	Prob  float64 // cumulative probability at Bytes
+}
+
+// CDF is a piecewise-linear flow-size distribution sampled by inverse
+// transform.
+type CDF struct {
+	name   string
+	points []CDFPoint
+	mean   float64
+}
+
+// NewCDF builds a CDF from support points. Points must be strictly
+// increasing in both size and probability and end at probability 1.
+func NewCDF(name string, points []CDFPoint) *CDF {
+	if len(points) < 2 {
+		panic("workload: CDF needs at least two points")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Bytes <= points[i-1].Bytes || points[i].Prob <= points[i-1].Prob {
+			panic(fmt.Sprintf("workload: CDF %q not strictly increasing at %d", name, i))
+		}
+	}
+	if points[len(points)-1].Prob != 1 {
+		panic("workload: CDF must end at probability 1")
+	}
+	c := &CDF{name: name, points: points}
+	c.mean = c.computeMean()
+	return c
+}
+
+// Name returns the distribution name.
+func (c *CDF) Name() string { return c.name }
+
+// MeanBytes returns the distribution's mean flow size.
+func (c *CDF) MeanBytes() float64 { return c.mean }
+
+func (c *CDF) computeMean() float64 {
+	var mean float64
+	prev := CDFPoint{Bytes: 0, Prob: 0}
+	if c.points[0].Prob > 0 {
+		// Mass at/below the first point: treat as uniform (0, first].
+		mean += c.points[0].Prob * float64(c.points[0].Bytes) / 2
+		prev = c.points[0]
+	} else {
+		prev = c.points[0]
+	}
+	for _, p := range c.points[1:] {
+		w := p.Prob - prev.Prob
+		mean += w * float64(prev.Bytes+p.Bytes) / 2
+		prev = p
+	}
+	return mean
+}
+
+// Sample draws a flow size by inverse transform with linear interpolation.
+// The result is at least 1 byte.
+func (c *CDF) Sample(r *sim.Rand) int {
+	u := r.Float64()
+	return c.Quantile(u)
+}
+
+// Quantile returns the flow size at cumulative probability u in [0, 1).
+func (c *CDF) Quantile(u float64) int {
+	idx := sort.Search(len(c.points), func(i int) bool { return c.points[i].Prob >= u })
+	if idx == 0 {
+		frac := u / c.points[0].Prob
+		size := frac * float64(c.points[0].Bytes)
+		if size < 1 {
+			return 1
+		}
+		return int(size)
+	}
+	if idx >= len(c.points) {
+		return c.points[len(c.points)-1].Bytes
+	}
+	lo, hi := c.points[idx-1], c.points[idx]
+	frac := (u - lo.Prob) / (hi.Prob - lo.Prob)
+	return lo.Bytes + int(frac*float64(hi.Bytes-lo.Bytes))
+}
+
+// Bins returns the support sizes, which Figs. 14-16 use as FCT bins.
+func (c *CDF) Bins() []int {
+	bins := make([]int, len(c.points))
+	for i, p := range c.points {
+		bins[i] = p.Bytes
+	}
+	return bins
+}
+
+// WebSearch returns the throughput-heavy WebSearch-style distribution.
+// Its support matches the paper's WebSearch bins: 10K...80K (mice) and
+// 200K...10M (elephants).
+func WebSearch() *CDF {
+	return NewCDF("WebSearch", []CDFPoint{
+		{10 * 1000, 0.15},
+		{20 * 1000, 0.20},
+		{30 * 1000, 0.30},
+		{50 * 1000, 0.40},
+		{80 * 1000, 0.53},
+		{200 * 1000, 0.60},
+		{1000 * 1000, 0.70},
+		{2000 * 1000, 0.80},
+		{5000 * 1000, 0.90},
+		{10000 * 1000, 1.00},
+	})
+}
+
+// FBHadoop returns the latency-sensitive small-flow distribution. Its
+// support matches the paper's FB_Hadoop bins: 75B...10K (mice) and
+// 16K...100K (tail).
+func FBHadoop() *CDF {
+	return NewCDF("FB_Hadoop", []CDFPoint{
+		{75, 0.10},
+		{1000, 0.32},
+		{2500, 0.50},
+		{6300, 0.66},
+		{10 * 1000, 0.76},
+		{16 * 1000, 0.83},
+		{23 * 1000, 0.87},
+		{24 * 1000, 0.90},
+		{25 * 1000, 0.93},
+		{100 * 1000, 1.00},
+	})
+}
+
+// ByName resolves a distribution by its paper name.
+func ByName(name string) (*CDF, error) {
+	switch name {
+	case "WebSearch", "websearch":
+		return WebSearch(), nil
+	case "FB_Hadoop", "fbhadoop", "fb_hadoop":
+		return FBHadoop(), nil
+	}
+	return nil, fmt.Errorf("workload: unknown distribution %q", name)
+}

@@ -1,0 +1,19 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"rocc/internal/workload"
+)
+
+// Example shows the two evaluation workloads' headline statistics: the
+// WebSearch mix is elephant-dominated while FB_Hadoop is mice-dominated.
+func Example() {
+	ws := workload.WebSearch()
+	fb := workload.FBHadoop()
+	fmt.Printf("%s: mean %.0f KB, median %d B\n", ws.Name(), ws.MeanBytes()/1000, ws.Quantile(0.5))
+	fmt.Printf("%s: mean %.1f KB, median %d B\n", fb.Name(), fb.MeanBytes()/1000, fb.Quantile(0.5))
+	// Output:
+	// WebSearch: mean 1336 KB, median 73076 B
+	// FB_Hadoop: mean 9.5 KB, median 2500 B
+}

@@ -1,0 +1,62 @@
+package workload
+
+import "rocc/internal/sim"
+
+// Poisson drives an open-loop Poisson flow-arrival process for one
+// traffic source. Flow sizes come from a CDF; the arrival rate is derived
+// from a target average load on the source's access link.
+type Poisson struct {
+	engine *sim.Engine
+	rand   *sim.Rand
+	cdf    *CDF
+	mean   sim.Time // mean inter-arrival time
+	start  func(size int)
+	ev     *sim.Event
+	done   bool
+
+	Started int
+}
+
+// ArrivalRate returns the flow arrival rate (flows/s) that produces the
+// given average load fraction on a link of linkBps bits per second, for
+// flows drawn from cdf.
+func ArrivalRate(cdf *CDF, linkBps float64, load float64) float64 {
+	return load * linkBps / (cdf.MeanBytes() * 8)
+}
+
+// NewPoisson starts a Poisson arrival process that invokes start with a
+// sampled flow size at every arrival. Stop it with Stop.
+func NewPoisson(engine *sim.Engine, rand *sim.Rand, cdf *CDF, flowsPerSec float64, start func(size int)) *Poisson {
+	if flowsPerSec <= 0 {
+		panic("workload: arrival rate must be positive")
+	}
+	p := &Poisson{
+		engine: engine,
+		rand:   rand,
+		cdf:    cdf,
+		mean:   sim.FromSeconds(1 / flowsPerSec),
+		start:  start,
+	}
+	p.schedule()
+	return p
+}
+
+func (p *Poisson) schedule() {
+	gap := p.rand.ExpTime(p.mean)
+	p.ev = p.engine.After(gap, func() {
+		if p.done {
+			return
+		}
+		p.Started++
+		p.start(p.cdf.Sample(p.rand))
+		p.schedule()
+	})
+}
+
+// Stop halts the arrival process.
+func (p *Poisson) Stop() {
+	p.done = true
+	if p.ev != nil {
+		p.ev.Cancel()
+	}
+}

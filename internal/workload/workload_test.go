@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rocc/internal/sim"
+)
+
+func TestCDFValidation(t *testing.T) {
+	mustPanic := func(name string, points []CDFPoint) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: invalid CDF accepted", name)
+			}
+		}()
+		NewCDF(name, points)
+	}
+	mustPanic("too-few", []CDFPoint{{100, 1}})
+	mustPanic("non-monotone-size", []CDFPoint{{100, 0.5}, {100, 1}})
+	mustPanic("non-monotone-prob", []CDFPoint{{100, 0.5}, {200, 0.5}})
+	mustPanic("not-ending-at-1", []CDFPoint{{100, 0.5}, {200, 0.9}})
+}
+
+func TestPaperBins(t *testing.T) {
+	ws := WebSearch()
+	wantWS := []int{10000, 20000, 30000, 50000, 80000, 200000, 1000000, 2000000, 5000000, 10000000}
+	for i, b := range ws.Bins() {
+		if b != wantWS[i] {
+			t.Errorf("WebSearch bin %d = %d, want %d", i, b, wantWS[i])
+		}
+	}
+	fb := FBHadoop()
+	wantFB := []int{75, 1000, 2500, 6300, 10000, 16000, 23000, 24000, 25000, 100000}
+	for i, b := range fb.Bins() {
+		if b != wantFB[i] {
+			t.Errorf("FB_Hadoop bin %d = %d, want %d", i, b, wantFB[i])
+		}
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	c := WebSearch()
+	prev := 0
+	for u := 0.0; u < 1; u += 0.01 {
+		q := c.Quantile(u)
+		if q < prev {
+			t.Fatalf("quantile not monotone at u=%.2f: %d < %d", u, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	c := FBHadoop()
+	if q := c.Quantile(0); q < 1 {
+		t.Errorf("Quantile(0) = %d, want >= 1", q)
+	}
+	if q := c.Quantile(0.9999999); q > 100000 {
+		t.Errorf("Quantile(~1) = %d, exceeds max", q)
+	}
+}
+
+func TestSampleWithinSupport(t *testing.T) {
+	r := sim.NewRand(1)
+	c := WebSearch()
+	for i := 0; i < 10000; i++ {
+		s := c.Sample(r)
+		if s < 1 || s > 10000000 {
+			t.Fatalf("sample %d out of support", s)
+		}
+	}
+}
+
+func TestEmpiricalMeanMatchesAnalytic(t *testing.T) {
+	r := sim.NewRand(2)
+	for _, c := range []*CDF{WebSearch(), FBHadoop()} {
+		var sum float64
+		n := 200000
+		for i := 0; i < n; i++ {
+			sum += float64(c.Sample(r))
+		}
+		emp := sum / float64(n)
+		if math.Abs(emp-c.MeanBytes())/c.MeanBytes() > 0.05 {
+			t.Errorf("%s: empirical mean %.0f vs analytic %.0f", c.Name(), emp, c.MeanBytes())
+		}
+	}
+}
+
+func TestHeavyTail(t *testing.T) {
+	// WebSearch is elephant-dominated: the top 10% of flows by size must
+	// carry well over half the bytes.
+	c := WebSearch()
+	r := sim.NewRand(3)
+	var total, big float64
+	p90 := float64(c.Quantile(0.9))
+	for i := 0; i < 100000; i++ {
+		s := float64(c.Sample(r))
+		total += s
+		if s >= p90 {
+			big += s
+		}
+	}
+	if big/total < 0.5 {
+		t.Errorf("top decile carries %.0f%% of bytes, want > 50%%", big/total*100)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"WebSearch", "websearch", "FB_Hadoop", "fbhadoop"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestArrivalRate(t *testing.T) {
+	c := NewCDF("unit", []CDFPoint{{999, 0.001}, {1000, 1.0}}) // ~1000B flows
+	lam := ArrivalRate(c, 8e9, 0.5)                            // 4 Gb/s of ~8000-bit flows
+	want := 0.5 * 8e9 / (c.MeanBytes() * 8)
+	if math.Abs(lam-want) > 1e-6 {
+		t.Errorf("ArrivalRate = %v, want %v", lam, want)
+	}
+}
+
+func TestPoissonArrivalCount(t *testing.T) {
+	engine := sim.New()
+	r := sim.NewRand(4)
+	count := 0
+	gen := NewPoisson(engine, r, FBHadoop(), 10000, func(size int) {
+		count++
+		if size < 1 {
+			t.Fatal("non-positive flow size")
+		}
+	})
+	engine.RunUntil(sim.Second)
+	gen.Stop()
+	// 10k flows/s over 1s: Poisson(10000); 5 sigma = 500.
+	if count < 9500 || count > 10500 {
+		t.Errorf("arrivals = %d, want ~10000", count)
+	}
+	if gen.Started != count {
+		t.Errorf("Started = %d, callbacks = %d", gen.Started, count)
+	}
+}
+
+func TestPoissonStop(t *testing.T) {
+	engine := sim.New()
+	gen := NewPoisson(engine, sim.NewRand(5), FBHadoop(), 1e6, func(int) {})
+	engine.RunUntil(sim.Millisecond)
+	gen.Stop()
+	at := gen.Started
+	engine.RunUntil(10 * sim.Millisecond)
+	if gen.Started != at {
+		t.Error("arrivals continued after Stop")
+	}
+}
+
+func TestPoissonRejectsZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero arrival rate accepted")
+		}
+	}()
+	NewPoisson(sim.New(), sim.NewRand(1), FBHadoop(), 0, func(int) {})
+}
+
+// Property: quantile inverts sampling — a sample at u is within the bin
+// that contains u.
+func TestQuantileWithinBracketProperty(t *testing.T) {
+	c := WebSearch()
+	f := func(uRaw uint32) bool {
+		u := float64(uRaw) / float64(math.MaxUint32)
+		if u >= 1 {
+			return true
+		}
+		q := c.Quantile(u)
+		return q >= 1 && q <= 10000000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
