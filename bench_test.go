@@ -199,6 +199,28 @@ func benchFCT(b *testing.B, wl *workload.CDF, metric func(experiments.FCTResult)
 	}
 }
 
+// benchFCTReps measures the repetition fan-out of the §6.3 experiments:
+// the same 4-rep RoCC run through the harness at a given worker count.
+// Comparing the Serial and Parallel4 variants shows the wall-clock win
+// the -workers flag buys (EXPERIMENTS.md records the measured speedup).
+func benchFCTReps(b *testing.B, workers int) {
+	cfg := fctConfig(experiments.ProtoRoCC, workload.WebSearch(), 1)
+	for i := 0; i < b.N; i++ {
+		rs := experiments.RunFCTReps(cfg, 4, workers)
+		for _, r := range rs {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+		if i == 0 {
+			b.ReportMetric(float64(rs[0].Value.FlowsDone), "flows-per-rep")
+		}
+	}
+}
+
+func BenchmarkFig14RepsSerial(b *testing.B)    { benchFCTReps(b, 1) }
+func BenchmarkFig14RepsParallel4(b *testing.B) { benchFCTReps(b, 4) }
+
 func lastPopulated(bins []int, r experiments.FCTResult, pick func(i int) float64) float64 {
 	for i := len(r.Bins) - 1; i >= 0; i-- {
 		if r.Bins[i].Count > 0 {

@@ -10,13 +10,18 @@
 //
 // Flags:
 //
-//	-dur    duration of timed experiments (default per experiment)
-//	-seed   RNG seed (default 1)
-//	-full   use the paper's full fat-tree scale (3x3x30) and durations
-//	-load   average load level for §6.3 runs (default 0.7)
-//	-runs   repetitions for §6.3 runs (default 1; the paper uses 5)
-//	-plot   render queue/rate series as ASCII charts (fig8, fig9, fig13)
-//	-csv    directory to write raw series/bin CSVs into
+//	-dur      duration of timed experiments (default per experiment)
+//	-seed     RNG seed (default 1)
+//	-full     use the paper's full fat-tree scale (3x3x30) and durations
+//	-load     average load level for §6.3 runs (default 0.7)
+//	-reps     repetitions per experiment cell (default 1; the paper uses 5);
+//	          rep r runs with seed+r, results merged as mean ± 95% CI
+//	-runs     deprecated alias for -reps (kept for old scripts)
+//	-workers  parallel workers for repetition fan-out (default 0 = GOMAXPROCS);
+//	          results are merged in repetition order, so -workers never
+//	          changes the output, only the wall time
+//	-plot     render queue/rate series as ASCII charts (fig8, fig9, fig13)
+//	-csv      directory to write raw series/bin CSVs into
 package main
 
 import (
@@ -43,7 +48,9 @@ var (
 	seedFlag = flag.Int64("seed", 1, "RNG seed")
 	fullFlag = flag.Bool("full", false, "use the paper's full fat-tree scale")
 	loadFlag = flag.Float64("load", 0.7, "average load level for §6.3 runs")
-	runsFlag = flag.Int("runs", 1, "repetitions for §6.3 runs (paper: 5)")
+	repsFlag = flag.Int("reps", 1, "repetitions per experiment cell (paper: 5)")
+	runsFlag = flag.Int("runs", 1, "deprecated alias for -reps")
+	workFlag = flag.Int("workers", 0, "parallel workers for repetitions (0 = GOMAXPROCS)")
 	plotFlag = flag.Bool("plot", false, "render ASCII charts for series-producing experiments")
 	csvFlag  = flag.String("csv", "", "directory to write raw CSV outputs into")
 	fanFlag  = flag.Int("fanin", 0, "synchronized incast fan-in for fig18/fig20 (0 = smooth Poisson; 30 = paper incast level)")
@@ -117,6 +124,24 @@ func dur(def sim.Time) sim.Time {
 		return sim.Time(durFlag.Nanoseconds())
 	}
 	return def
+}
+
+// repCount merges -reps with its deprecated alias -runs.
+func repCount() int {
+	r := *repsFlag
+	if *runsFlag > r {
+		r = *runsFlag
+	}
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+// reportErr prints a failed repetition (e.g. a captured panic) without
+// aborting the rest of the sweep.
+func reportErr(what string, rep int, err error) {
+	fmt.Fprintf(os.Stderr, "%s rep %d failed: %v\n", what, rep, err)
 }
 
 func run(name string) {
@@ -204,16 +229,55 @@ func runFig7(which string) {
 
 func runFig8() {
 	fmt.Println("Fig 8: fairness and stability as load increases (90% offered load)")
+	reps := repCount()
+	// Flatten the (B, N, rep) grid into one harness fan-out; results come
+	// back slotted by cell index, so the printed order never changes.
+	type point struct {
+		gbps float64
+		n    int
+	}
+	var points []point
+	var cfgs []experiments.Fig8Config
 	for _, gbps := range []float64{40, 100} {
 		for _, n := range []int{2, 10, 100} {
-			r := experiments.RunFig8(experiments.Fig8Config{
-				N: n, Gbps: gbps, Duration: dur(20 * sim.Millisecond), Seed: *seedFlag,
-			})
-			fmt.Printf("  B=%3.0fG N=%-3d queue=%6.0f KB (ref %s)  fair=%7.2f Gb/s (ideal %.2f)  conv=%.1f ms  pfc=%d\n",
-				gbps, n, r.SteadyQueKB, map[float64]string{40: "150", 100: "300"}[gbps],
-				r.SteadyRate, r.ExpectedRate, r.ConvergedAt*1e3, r.PFCFrames)
-			emitSeries(fmt.Sprintf("fig8_B%.0f_N%d", gbps, n), r.Queue, r.FairRate)
+			points = append(points, point{gbps, n})
+			for rep := 0; rep < reps; rep++ {
+				cfgs = append(cfgs, experiments.Fig8Config{
+					N: n, Gbps: gbps, Duration: dur(20 * sim.Millisecond), Seed: *seedFlag + int64(rep),
+				})
+			}
 		}
+	}
+	rs := experiments.RunFig8Grid(cfgs, *workFlag)
+	for i, pt := range points {
+		var runs []experiments.Fig8Result
+		for rep := 0; rep < reps; rep++ {
+			r := rs[i*reps+rep]
+			if r.Err != nil {
+				reportErr(fmt.Sprintf("fig8 B=%.0fG N=%d", pt.gbps, pt.n), rep, r.Err)
+				continue
+			}
+			runs = append(runs, r.Value)
+		}
+		if len(runs) == 0 {
+			continue
+		}
+		queKB, rate, conv, pfc := runs[0].SteadyQueKB, runs[0].SteadyRate, runs[0].ConvergedAt, float64(runs[0].PFCFrames)
+		queues, rates := []*stats.Series{runs[0].Queue}, []*stats.Series{runs[0].FairRate}
+		for _, r := range runs[1:] {
+			queKB += r.SteadyQueKB
+			rate += r.SteadyRate
+			conv += r.ConvergedAt
+			pfc += float64(r.PFCFrames)
+			queues = append(queues, r.Queue)
+			rates = append(rates, r.FairRate)
+		}
+		nr := float64(len(runs))
+		fmt.Printf("  B=%3.0fG N=%-3d queue=%6.0f KB (ref %s)  fair=%7.2f Gb/s (ideal %.2f)  conv=%.1f ms  pfc=%d\n",
+			pt.gbps, pt.n, queKB/nr, map[float64]string{40: "150", 100: "300"}[pt.gbps],
+			rate/nr, runs[0].ExpectedRate, conv/nr*1e3, int(pfc/nr))
+		emitSeries(fmt.Sprintf("fig8_B%.0f_N%d", pt.gbps, pt.n),
+			experiments.AverageSeries(queues...), experiments.AverageSeries(rates...))
 	}
 }
 
@@ -236,12 +300,57 @@ func runFig9() {
 func runFig11() {
 	fmt.Println("Fig 11: comparison on N=10, B=40G (fairness / stability / convergence)")
 	fmt.Printf("  %-9s %22s %16s %8s %6s\n", "protocol", "per-flow rate (Gb/s)", "queue (KB)", "util", "Jain")
-	for _, p := range experiments.MicroProtocols() {
-		row := experiments.RunFig11(p, experiments.Fig11Config{Duration: dur(40 * sim.Millisecond), Seed: *seedFlag})
+	reps := repCount()
+	protos := experiments.MicroProtocols()
+	grid := experiments.RunFig11Grid(protos, experiments.Fig11Config{
+		Duration: dur(40 * sim.Millisecond), Seed: *seedFlag,
+	}, reps, *workFlag)
+	for i, p := range protos {
+		var rows []experiments.Fig11Row
+		for _, r := range grid[i] {
+			if r.Err != nil {
+				reportErr("fig11 "+string(p), r.Index%reps, r.Err)
+				continue
+			}
+			rows = append(rows, r.Value)
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		row := averageFig11(rows)
 		fmt.Printf("  %-9s %6.2f ± %-5.2f [%4.1f..%4.1f] %7.0f ± %-6.0f %6.2f %6.4f\n",
 			row.Protocol, row.FlowRateMean, row.FlowRateStd, row.FlowRateMin, row.FlowRateMax,
 			row.QueueMeanKB, row.QueueStdKB, row.Utilization, row.JainIndex)
 	}
+}
+
+// averageFig11 merges repetition rows: scalar metrics are averaged, the
+// rate envelope takes the min of mins and max of maxes. A single row is
+// returned unchanged.
+func averageFig11(rows []experiments.Fig11Row) experiments.Fig11Row {
+	out := rows[0]
+	for _, r := range rows[1:] {
+		out.FlowRateMean += r.FlowRateMean
+		out.FlowRateStd += r.FlowRateStd
+		out.QueueMeanKB += r.QueueMeanKB
+		out.QueueStdKB += r.QueueStdKB
+		out.Utilization += r.Utilization
+		out.JainIndex += r.JainIndex
+		if r.FlowRateMin < out.FlowRateMin {
+			out.FlowRateMin = r.FlowRateMin
+		}
+		if r.FlowRateMax > out.FlowRateMax {
+			out.FlowRateMax = r.FlowRateMax
+		}
+	}
+	n := float64(len(rows))
+	out.FlowRateMean /= n
+	out.FlowRateStd /= n
+	out.QueueMeanKB /= n
+	out.QueueStdKB /= n
+	out.Utilization /= n
+	out.JainIndex /= n
+	return out
 }
 
 func runFig12a() {
@@ -293,14 +402,19 @@ func fctConfig(p experiments.Protocol, wl *workload.CDF, seed int64) experiments
 
 func runFCTFigs(name string) {
 	metric := map[string]string{"fig14": "average", "fig15": "90th percentile", "fig16": "99th percentile"}[name]
+	reps := repCount()
 	fmt.Printf("%s: %s FCT per flow-size bin (load %.0f%%)\n", name, metric, *loadFlag*100)
 	for _, wl := range []*workload.CDF{workload.WebSearch(), workload.FBHadoop()} {
 		fmt.Printf("-- %s traffic --\n", wl.Name())
 		for _, p := range experiments.ComparisonProtocols() {
+			rs := experiments.RunFCTReps(fctConfig(p, wl, *seedFlag), reps, *workFlag)
 			var runs [][]stats.BinStat
-			for rep := 0; rep < *runsFlag; rep++ {
-				r := experiments.RunFCT(fctConfig(p, wl, *seedFlag+int64(rep)))
-				runs = append(runs, r.Bins)
+			for _, r := range rs {
+				if r.Err != nil {
+					reportErr(name+" "+string(p), r.Index, r.Err)
+					continue
+				}
+				runs = append(runs, r.Value.Bins)
 			}
 			bins, ci := experiments.MergeBins(runs)
 			emitBins(name+"_"+wl.Name(), string(p), bins)
@@ -313,8 +427,11 @@ func runFCTFigs(name string) {
 				case "fig16":
 					v = b.P99Ms
 				}
-				_ = ci[i]
-				fmt.Printf(" %s:%.3f", sizeLabel(b.UpperBytes), v)
+				if reps > 1 {
+					fmt.Printf(" %s:%.3f±%.3f", sizeLabel(b.UpperBytes), v, ci[i])
+				} else {
+					fmt.Printf(" %s:%.3f", sizeLabel(b.UpperBytes), v)
+				}
 			}
 			fmt.Println()
 		}
@@ -324,21 +441,51 @@ func runFCTFigs(name string) {
 func runTable3() {
 	fmt.Printf("Table 3: flow-level average rate allocation (FB_Hadoop, load %.0f%%)\n", *loadFlag*100)
 	fmt.Printf("  %-9s %14s %16s\n", "protocol", "avg rate (Mb/s)", "std dev (Mb/s)")
+	reps := repCount()
 	for _, p := range experiments.ComparisonProtocols() {
-		r := experiments.RunFCT(fctConfig(p, workload.FBHadoop(), *seedFlag))
-		row := experiments.Table3FromResult(r)
-		fmt.Printf("  %-9s %14.2f %16.2f\n", row.Protocol, row.MeanMbps, row.StdMbps)
+		rs := experiments.RunFCTReps(fctConfig(p, workload.FBHadoop(), *seedFlag), reps, *workFlag)
+		var means, stds []float64
+		for _, r := range rs {
+			if r.Err != nil {
+				reportErr("table3 "+string(p), r.Index, r.Err)
+				continue
+			}
+			row := experiments.Table3FromResult(r.Value)
+			means = append(means, row.MeanMbps)
+			stds = append(stds, row.StdMbps)
+		}
+		if len(means) == 0 {
+			continue
+		}
+		fmt.Printf("  %-9s %14.2f %16.2f\n", p, stats.Mean(means), stats.Mean(stds))
 	}
 }
 
 func runFig17() {
 	fmt.Printf("Fig 17: average queue size and PFC activation per CP tier (WebSearch, load %.0f%%)\n", *loadFlag*100)
 	fmt.Printf("  %-9s %26s %26s\n", "protocol", "avg queue KB (core/in/out)", "PFC frames (core/in/out)")
+	reps := repCount()
 	for _, p := range experiments.ComparisonProtocols() {
-		r := experiments.RunFCT(fctConfig(p, workload.WebSearch(), *seedFlag))
+		rs := experiments.RunFCTReps(fctConfig(p, workload.WebSearch(), *seedFlag), reps, *workFlag)
+		var tiers [3]experiments.TierStats
+		n := 0
+		for _, r := range rs {
+			if r.Err != nil {
+				reportErr("fig17 "+string(p), r.Index, r.Err)
+				continue
+			}
+			n++
+			for t, src := range []experiments.TierStats{r.Value.Core, r.Value.IngressEdge, r.Value.EgressEdge} {
+				tiers[t].AvgQueueKB += src.AvgQueueKB
+				tiers[t].PFCFrames += src.PFCFrames
+			}
+		}
+		if n == 0 {
+			continue
+		}
 		fmt.Printf("  %-9s %8.0f /%6.0f /%6.0f %10d /%6d /%6d\n",
-			p, r.Core.AvgQueueKB, r.IngressEdge.AvgQueueKB, r.EgressEdge.AvgQueueKB,
-			r.Core.PFCFrames, r.IngressEdge.PFCFrames, r.EgressEdge.PFCFrames)
+			p, tiers[0].AvgQueueKB/float64(n), tiers[1].AvgQueueKB/float64(n), tiers[2].AvgQueueKB/float64(n),
+			tiers[0].PFCFrames/n, tiers[1].PFCFrames/n, tiers[2].PFCFrames/n)
 	}
 }
 
@@ -348,20 +495,37 @@ func runFold(name string, mode experiments.BufferMode, wl *workload.CDF) {
 		label = "lossy (buffer = 3x PFC threshold, go-back-N)"
 	}
 	fmt.Printf("%s: FCT fold increase under %s (%s, load %.0f%%, fan-in %d)\n", name, label, wl.Name(), *loadFlag*100, *fanFlag)
+	reps := repCount()
 	for _, p := range experiments.ComparisonProtocols() {
 		cfg := fctConfig(p, wl, *seedFlag)
 		cfg.IncastFanIn = *fanFlag // -fanin 30 reproduces the paper's incast level; see EXPERIMENTS.md
-		r := experiments.RunFold(cfg, mode)
+		rs := experiments.RunFoldReps(cfg, mode, reps, *workFlag)
+		var runs []experiments.FoldResult
+		for _, r := range rs {
+			if r.Err != nil {
+				reportErr(name+" "+string(p), r.Index, r.Err)
+				continue
+			}
+			runs = append(runs, r.Value)
+		}
+		if len(runs) == 0 {
+			continue
+		}
+		rows, ci, retxShare, bufferFold := experiments.MergeFolds(runs)
 		fmt.Printf("  %-9s", p)
-		for _, row := range r.Rows {
+		for i, row := range rows {
 			if row.Fold > 0 {
-				fmt.Printf(" %s:%.1fx", sizeLabel(row.UpperBytes), row.Fold)
+				if reps > 1 {
+					fmt.Printf(" %s:%.1fx±%.1f", sizeLabel(row.UpperBytes), row.Fold, ci[i])
+				} else {
+					fmt.Printf(" %s:%.1fx", sizeLabel(row.UpperBytes), row.Fold)
+				}
 			}
 		}
 		if mode == experiments.Lossy {
-			fmt.Printf("  retx=%.1f%%", r.RetxShare*100)
+			fmt.Printf("  retx=%.1f%%", retxShare*100)
 		} else {
-			fmt.Printf("  buffer-fold=%.1fx", r.BufferFold)
+			fmt.Printf("  buffer-fold=%.1fx", bufferFold)
 		}
 		fmt.Println()
 	}

@@ -1,6 +1,9 @@
 package experiments
 
-import "rocc/internal/stats"
+import (
+	"rocc/internal/harness"
+	"rocc/internal/stats"
+)
 
 // FoldRow compares per-bin average FCT between a variant run and the
 // lossless baseline (the "fold increase" annotations of Figs. 18 and 20).
@@ -23,17 +26,66 @@ type FoldResult struct {
 
 // RunFold runs the same workload under Lossless and under the given
 // variant mode, returning per-bin fold increases. Fig. 18 uses
-// mode=Unlimited, Fig. 20 mode=Lossy.
+// mode=Unlimited, Fig. 20 mode=Lossy. The base and variant runs own
+// private engines and the same seed, so they execute as two parallel
+// harness cells with output identical to the old serial pair.
 func RunFold(cfg FCTConfig, mode BufferMode) FoldResult {
 	cfg.fill()
-	base := cfg
-	base.Mode = Lossless
-	variant := cfg
-	variant.Mode = mode
+	rs := harness.Run(2, harness.Options{Workers: 2}, func(i int) (FCTResult, error) {
+		c := cfg
+		c.Mode = Lossless
+		if i == 1 {
+			c.Mode = mode
+		}
+		return RunFCT(c), nil
+	})
+	vals, err := harness.Values(rs)
+	if err != nil {
+		panic(err) // preserve pre-harness behaviour: a crashed run aborts the fold
+	}
+	return makeFold(cfg, vals[0], vals[1])
+}
 
-	baseRes := RunFCT(base)
-	varRes := RunFCT(variant)
+// RunFoldReps runs reps fold pairs with derived seeds across workers.
+// Each repetition's base and variant are separate cells (2×reps cells
+// total), merged back into FoldResults in repetition order.
+func RunFoldReps(cfg FCTConfig, mode BufferMode, reps, workers int) []harness.Result[FoldResult] {
+	if reps <= 0 {
+		reps = 1
+	}
+	cfg.fill()
+	rs := harness.Run(2*reps, harness.Options{Workers: workers}, func(cell int) (FCTResult, error) {
+		c := cfg
+		c.Seed = harness.Seed(cfg.Seed, cell/2)
+		c.Mode = Lossless
+		if cell%2 == 1 {
+			c.Mode = mode
+		}
+		return RunFCT(c), nil
+	})
+	out := make([]harness.Result[FoldResult], reps)
+	for rep := 0; rep < reps; rep++ {
+		base, variant := rs[2*rep], rs[2*rep+1]
+		out[rep].Index = rep
+		out[rep].Elapsed = base.Elapsed + variant.Elapsed
+		if base.Err != nil {
+			out[rep].Err = base.Err
+			continue
+		}
+		if variant.Err != nil {
+			out[rep].Err = variant.Err
+			continue
+		}
+		repCfg := cfg
+		repCfg.Seed = harness.Seed(cfg.Seed, rep)
+		out[rep].Value = makeFold(repCfg, base.Value, variant.Value)
+	}
+	return out
+}
 
+// makeFold assembles the per-bin fold comparison from a finished
+// base/variant pair.
+func makeFold(cfg FCTConfig, baseRes, varRes FCTResult) FoldResult {
 	res := FoldResult{Protocol: cfg.Protocol, Base: baseRes, Variant: varRes}
 	for i, b := range baseRes.Bins {
 		v := varRes.Bins[i]
@@ -64,8 +116,47 @@ func Table3FromResult(r FCTResult) Table3Row {
 	return Table3Row{Protocol: r.Config.Protocol, MeanMbps: r.RateMean, StdMbps: r.RateStd}
 }
 
+// MergeFolds averages the per-bin fold increase across repetitions and
+// reports the Student-t 95% CI of the fold, plus the mean retransmit
+// share and buffer fold. Repetitions with an empty bin on either side
+// are excluded from that bin's average.
+func MergeFolds(runs []FoldResult) (rows []FoldRow, ci []float64, retxShare, bufferFold float64) {
+	if len(runs) == 0 {
+		return nil, nil, 0, 0
+	}
+	nBins := len(runs[0].Rows)
+	rows = make([]FoldRow, nBins)
+	ci = make([]float64, nBins)
+	for b := 0; b < nBins; b++ {
+		var folds, bases, vars []float64
+		for _, run := range runs {
+			row := run.Rows[b]
+			if row.Fold > 0 {
+				folds = append(folds, row.Fold)
+				bases = append(bases, row.BaseAvgMs)
+				vars = append(vars, row.VarAvgMs)
+			}
+		}
+		rows[b] = FoldRow{
+			UpperBytes: runs[0].Rows[b].UpperBytes,
+			BaseAvgMs:  stats.Mean(bases),
+			VarAvgMs:   stats.Mean(vars),
+			Fold:       stats.Mean(folds),
+		}
+		ci[b] = stats.CI95(folds)
+	}
+	var retxs, bufs []float64
+	for _, run := range runs {
+		retxs = append(retxs, run.RetxShare)
+		bufs = append(bufs, run.BufferFold)
+	}
+	return rows, ci, stats.Mean(retxs), stats.Mean(bufs)
+}
+
 // MergeBins averages per-bin statistics across repetitions and reports
-// the 95% CI of the per-bin average FCT, as the paper's error bars do.
+// the Student-t 95% CI of the per-bin average FCT, as the paper's error
+// bars do (stats.CI95 uses t(0.975, reps-1), not the normal z, for the
+// paper's n=5 repetitions).
 func MergeBins(runs [][]stats.BinStat) ([]stats.BinStat, []float64) {
 	if len(runs) == 0 {
 		return nil, nil

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"rocc/internal/harness"
 	"rocc/internal/netsim"
 	"rocc/internal/sim"
 	"rocc/internal/stats"
@@ -65,6 +66,15 @@ func RunFig8(cfg Fig8Config) Fig8Result {
 	// up to ±N·ΔF/2 of quantization noise the PI keeps correcting).
 	res.ConvergedAt = convergenceTime(rate, res.SteadyRate, 0.15)
 	return res
+}
+
+// RunFig8Grid runs one Fig. 8 point per config across workers. Each
+// cell owns a private engine, so the results are identical to running
+// the configs serially, in the same order.
+func RunFig8Grid(cfgs []Fig8Config, workers int) []harness.Result[Fig8Result] {
+	return harness.Run(len(cfgs), harness.Options{Workers: workers}, func(i int) (Fig8Result, error) {
+		return RunFig8(cfgs[i]), nil
+	})
 }
 
 // convergenceTime returns the earliest time after which the series'
@@ -289,6 +299,26 @@ func RunFig11(proto Protocol, cfg Fig11Config) Fig11Row {
 		Throughput:   tput,
 	}
 	return row
+}
+
+// RunFig11Grid fans the (protocol × repetition) cells of the six-way
+// comparison across workers. Repetition rep of protocol protos[p] uses
+// seed cfg.Seed + rep and lands at out[p][rep] regardless of completion
+// order, so the grid is deterministic for any worker count.
+func RunFig11Grid(protos []Protocol, cfg Fig11Config, reps, workers int) [][]harness.Result[Fig11Row] {
+	if reps <= 0 {
+		reps = 1
+	}
+	rs := harness.Run(len(protos)*reps, harness.Options{Workers: workers}, func(cell int) (Fig11Row, error) {
+		c := cfg
+		c.Seed = harness.Seed(cfg.Seed, cell%reps)
+		return RunFig11(protos[cell/reps], c), nil
+	})
+	out := make([][]harness.Result[Fig11Row], len(protos))
+	for p := range protos {
+		out[p] = rs[p*reps : (p+1)*reps]
+	}
+	return out
 }
 
 // Fig12aRow is one protocol's per-flow average throughput on the

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"rocc/internal/sim"
+	"rocc/internal/stats"
+	"rocc/internal/topology"
+	"rocc/internal/workload"
+)
+
+func TestFig11GridDeterministicAcrossWorkers(t *testing.T) {
+	cfg := Fig11Config{Duration: 4 * sim.Millisecond, Seed: 1}
+	protos := []Protocol{ProtoRoCC, ProtoDCQCN}
+	serial := RunFig11Grid(protos, cfg, 2, 1)
+	parallel := RunFig11Grid(protos, cfg, 2, 8)
+	for p := range protos {
+		for rep := range serial[p] {
+			s, par := serial[p][rep], parallel[p][rep]
+			if s.Err != nil || par.Err != nil {
+				t.Fatalf("cell (%d,%d) errored: %v / %v", p, rep, s.Err, par.Err)
+			}
+			if !reflect.DeepEqual(s.Value, par.Value) {
+				t.Errorf("proto %s rep %d: workers=8 row differs from workers=1", protos[p], rep)
+			}
+		}
+	}
+}
+
+func TestFCTRepsDeterministicAcrossWorkers(t *testing.T) {
+	cfg := FCTConfig{
+		Protocol: ProtoRoCC,
+		Workload: workload.FBHadoop(),
+		Load:     0.7,
+		FatTree:  topology.ScaledFatTree(4),
+		Duration: 4 * sim.Millisecond,
+		Seed:     1,
+	}
+	serial := RunFCTReps(cfg, 2, 1)
+	parallel := RunFCTReps(cfg, 2, 4)
+	for rep := range serial {
+		if serial[rep].Err != nil || parallel[rep].Err != nil {
+			t.Fatalf("rep %d errored: %v / %v", rep, serial[rep].Err, parallel[rep].Err)
+		}
+		if !reflect.DeepEqual(serial[rep].Value, parallel[rep].Value) {
+			t.Errorf("rep %d: workers=4 result differs from workers=1", rep)
+		}
+	}
+	// Derived seeds must follow the serial convention base+rep.
+	if serial[0].Value.Config.Seed != 1 || serial[1].Value.Config.Seed != 2 {
+		t.Errorf("derived seeds = %d, %d; want 1, 2",
+			serial[0].Value.Config.Seed, serial[1].Value.Config.Seed)
+	}
+	// And the repetitions must actually differ (the seeds are live).
+	if reflect.DeepEqual(serial[0].Value.Bins, serial[1].Value.Bins) {
+		t.Error("rep 0 and rep 1 produced identical bins; seeds not applied")
+	}
+}
+
+func TestRunFoldRepsMatchesRunFold(t *testing.T) {
+	cfg := smallFCT(ProtoRoCC, workload.FBHadoop(), Lossless)
+	cfg.Duration = 4 * sim.Millisecond
+	direct := RunFold(cfg, Unlimited)
+	reps := RunFoldReps(cfg, Unlimited, 2, 4)
+	if len(reps) != 2 {
+		t.Fatalf("reps = %d", len(reps))
+	}
+	for _, r := range reps {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+	}
+	// Rep 0 uses the base seed, so it must reproduce RunFold exactly.
+	if !reflect.DeepEqual(direct.Rows, reps[0].Value.Rows) {
+		t.Errorf("RunFoldReps rep 0 != RunFold:\n%+v\n%+v", direct.Rows, reps[0].Value.Rows)
+	}
+	rows, ci, _, bufFold := MergeFolds([]FoldResult{reps[0].Value, reps[1].Value})
+	if len(rows) != len(direct.Rows) || len(ci) != len(rows) {
+		t.Fatalf("merged rows = %d, ci = %d", len(rows), len(ci))
+	}
+	if bufFold <= 0 {
+		t.Error("merged buffer fold not computed")
+	}
+}
+
+func TestAverageSeries(t *testing.T) {
+	a := &stats.Series{Name: "q"}
+	b := &stats.Series{Name: "q"}
+	for i := 0; i < 5; i++ {
+		a.Add(float64(i), 10)
+		b.Add(float64(i), 20)
+	}
+	b.Add(5, 99) // extra tail must be truncated away
+	avg := AverageSeries(a, b)
+	if avg.Name != "q" || len(avg.Points) != 5 {
+		t.Fatalf("avg = %q with %d points", avg.Name, len(avg.Points))
+	}
+	for i, p := range avg.Points {
+		if p.T != float64(i) || p.V != 15 {
+			t.Errorf("point %d = %+v, want (%d, 15)", i, p, i)
+		}
+	}
+	single := AverageSeries(a)
+	if !reflect.DeepEqual(single.Points, a.Points) {
+		t.Error("single-run average changed the series")
+	}
+	if empty := AverageSeries(); len(empty.Points) != 0 {
+		t.Error("empty average not empty")
+	}
+}

@@ -8,6 +8,11 @@ import (
 
 // Sampler records time series from the running simulation on a fixed
 // period (100 µs unless overridden).
+//
+// A Sampler is bound to one engine and is not safe for concurrent use;
+// under the parallel harness each (experiment × repetition) cell builds
+// its own engine and its own Sampler, which is what keeps fan-out
+// deterministic.
 type Sampler struct {
 	engine *sim.Engine
 	period sim.Time
@@ -63,6 +68,33 @@ func (s *Sampler) Throughput(name string, flow *netsim.Flow) *stats.Series {
 		series.Add(now.Seconds(), gbps)
 	})
 	return series
+}
+
+// AverageSeries returns the point-wise mean of several repetitions'
+// series — the averaged queue/rate curve the paper plots over its five
+// runs. All runs must be sampled on the same schedule (same period and
+// duration), which derived-seed harness repetitions guarantee; the
+// output is truncated to the shortest run and keeps the first run's
+// timestamps and name. A single run is returned unchanged in value.
+func AverageSeries(runs ...*stats.Series) *stats.Series {
+	if len(runs) == 0 {
+		return &stats.Series{}
+	}
+	n := len(runs[0].Points)
+	for _, r := range runs[1:] {
+		if len(r.Points) < n {
+			n = len(r.Points)
+		}
+	}
+	out := &stats.Series{Name: runs[0].Name}
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for _, r := range runs {
+			sum += r.Points[i].V
+		}
+		out.Add(runs[0].Points[i].T, sum/float64(len(runs)))
+	}
+	return out
 }
 
 // PortThroughput records a port's transmitted data rate in Gb/s.

@@ -1,0 +1,128 @@
+// Package harness fans independent experiment cells out across a
+// bounded worker pool. The paper's evaluation reports every figure as
+// an average over repeated runs; each (experiment × protocol ×
+// repetition) cell owns a private sim.Engine and seed, so cells are
+// embarrassingly parallel. The harness provides the scaffolding every
+// repetition sweep shares:
+//
+//   - GOMAXPROCS-bounded workers (Options.Workers),
+//   - deterministic ordered merge: results are slotted by cell index,
+//     never by completion order, so a parallel sweep is byte-identical
+//     to a serial one,
+//   - derived per-cell seeds (Seed = base + repetition index),
+//   - per-cell panic capture: a crashed repetition becomes a reported
+//     error on its own Result instead of killing the whole sweep,
+//   - per-cell wall-clock and progress instrumentation (Result.Elapsed,
+//     Options.OnCell).
+//
+// With Workers = 1 the cells run sequentially in index order, which is
+// exactly the pre-harness serial behaviour.
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Result is the outcome of one cell.
+type Result[T any] struct {
+	Index   int           // cell index in [0, n)
+	Value   T             // fn's return value; zero when Err != nil
+	Err     error         // non-nil if the cell returned an error or panicked
+	Elapsed time.Duration // wall-clock time the cell took on its worker
+}
+
+// Options configures a Run.
+type Options struct {
+	// Workers bounds the number of concurrently executing cells.
+	// Values <= 0 select runtime.GOMAXPROCS(0). It is further capped at
+	// the number of cells.
+	Workers int
+
+	// OnCell, if set, is invoked as each cell finishes (in completion
+	// order, which is nondeterministic). Calls are serialized by the
+	// harness, so the callback needs no locking of its own.
+	OnCell func(index int, elapsed time.Duration, err error)
+}
+
+// Seed derives the per-repetition RNG seed from a base seed, matching
+// the serial convention the runners always used (base + repetition).
+func Seed(base int64, rep int) int64 { return base + int64(rep) }
+
+// Run executes fn for every cell index in [0, n) across the worker pool
+// and returns the results ordered by cell index. A cell that panics is
+// recovered into its Result's Err; the remaining cells still run.
+func Run[T any](n int, opts Options, fn func(cell int) (T, error)) []Result[T] {
+	results := make([]Result[T], n)
+	for i := range results {
+		results[i].Index = i
+	}
+	if n == 0 {
+		return results
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	cells := make(chan int)
+	var wg sync.WaitGroup
+	var cbMu sync.Mutex
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range cells {
+				start := time.Now()
+				v, err := runCell(i, fn)
+				elapsed := time.Since(start)
+				results[i].Value = v
+				results[i].Err = err
+				results[i].Elapsed = elapsed
+				if opts.OnCell != nil {
+					cbMu.Lock()
+					opts.OnCell(i, elapsed, err)
+					cbMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		cells <- i
+	}
+	close(cells)
+	wg.Wait()
+	return results
+}
+
+// runCell invokes fn with panic capture.
+func runCell[T any](i int, fn func(int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			v = zero
+			err = fmt.Errorf("harness: cell %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}
+
+// Values unpacks results into a value slice in cell order, returning
+// the first error by cell index (not completion order), if any.
+func Values[T any](results []Result[T]) ([]T, error) {
+	vals := make([]T, len(results))
+	var first error
+	for i, r := range results {
+		vals[i] = r.Value
+		if r.Err != nil && first == nil {
+			first = r.Err
+		}
+	}
+	return vals, first
+}

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunSlotsResultsByIndex(t *testing.T) {
+	// Later cells finish first (descending sleep), yet results must come
+	// back in cell order.
+	n := 8
+	rs := Run(n, Options{Workers: 4}, func(i int) (int, error) {
+		time.Sleep(time.Duration(n-i) * time.Millisecond)
+		return i * i, nil
+	})
+	if len(rs) != n {
+		t.Fatalf("results = %d, want %d", len(rs), n)
+	}
+	for i, r := range rs {
+		if r.Index != i || r.Value != i*i || r.Err != nil {
+			t.Errorf("cell %d: %+v", i, r)
+		}
+		if r.Elapsed <= 0 {
+			t.Errorf("cell %d: no elapsed time recorded", i)
+		}
+	}
+}
+
+func TestRunSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	Run(5, Options{Workers: 1}, func(i int) (int, error) {
+		order = append(order, i) // safe: one worker, no concurrency
+		return 0, nil
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v, want ascending", order)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	var active, peak atomic.Int64
+	Run(16, Options{Workers: 3}, func(i int) (int, error) {
+		cur := active.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		active.Add(-1)
+		return 0, nil
+	})
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d, want <= 3", p)
+	}
+}
+
+func TestRunCapturesPanics(t *testing.T) {
+	rs := Run(5, Options{Workers: 2}, func(i int) (int, error) {
+		if i == 3 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	for i, r := range rs {
+		if i == 3 {
+			if r.Err == nil || !strings.Contains(r.Err.Error(), "cell 3 panicked: boom") {
+				t.Errorf("cell 3 error = %v", r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.Value != i {
+			t.Errorf("cell %d affected by sibling panic: %+v", i, r)
+		}
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	sentinel := errors.New("cell error")
+	rs := Run(4, Options{Workers: 4}, func(i int) (string, error) {
+		if i == 1 {
+			return "", sentinel
+		}
+		return "ok", nil
+	})
+	vals, err := Values(rs)
+	if !errors.Is(err, sentinel) {
+		t.Errorf("Values error = %v, want sentinel", err)
+	}
+	if vals[0] != "ok" || vals[2] != "ok" || vals[3] != "ok" {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestValuesNoError(t *testing.T) {
+	rs := Run(3, Options{}, func(i int) (int, error) { return i + 1, nil })
+	vals, err := Values(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0] != 1 || vals[2] != 3 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestOnCellSerializedAndComplete(t *testing.T) {
+	// A plain (unsynchronized) counter: the harness guarantees OnCell
+	// calls are serialized, so this is race-free and must total n.
+	seen := 0
+	var sumElapsed time.Duration
+	Run(32, Options{Workers: 8, OnCell: func(i int, d time.Duration, err error) {
+		seen++
+		sumElapsed += d
+		if err != nil {
+			t.Errorf("cell %d: %v", i, err)
+		}
+	}}, func(i int) (int, error) {
+		return i, nil
+	})
+	if seen != 32 {
+		t.Errorf("OnCell fired %d times, want 32", seen)
+	}
+	if sumElapsed < 0 {
+		t.Error("negative elapsed total")
+	}
+}
+
+func TestRunZeroCells(t *testing.T) {
+	rs := Run(0, Options{}, func(i int) (int, error) { return 0, nil })
+	if len(rs) != 0 {
+		t.Errorf("results = %v", rs)
+	}
+}
+
+func TestSeedDerivation(t *testing.T) {
+	if Seed(7, 0) != 7 || Seed(7, 4) != 11 {
+		t.Error("Seed must be base + rep")
+	}
+}

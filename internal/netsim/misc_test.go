@@ -16,13 +16,20 @@ func TestPausedForAccounting(t *testing.T) {
 	_ = hp
 	port := sw.Port(0)
 	port.SetPaused(true)
+	// Regression: reading mid-pause must include the in-progress pause,
+	// not just completed intervals (the Fig 17b-adjacent undercount).
+	engine.At(60*sim.Microsecond, func() {
+		if got := port.PausedFor(); got != 60*sim.Microsecond {
+			t.Errorf("mid-pause PausedFor = %v, want 60us", got)
+		}
+	})
 	engine.At(100*sim.Microsecond, func() { port.SetPaused(false) })
 	engine.RunUntil(200 * sim.Microsecond)
-	if port.PausedFor != 100*sim.Microsecond {
-		t.Errorf("PausedFor = %v, want 100us", port.PausedFor)
+	if port.PausedFor() != 100*sim.Microsecond {
+		t.Errorf("PausedFor = %v, want 100us", port.PausedFor())
 	}
 	port.SetPaused(false) // idempotent
-	if port.PausedFor != 100*sim.Microsecond {
+	if port.PausedFor() != 100*sim.Microsecond {
 		t.Error("double unpause changed accounting")
 	}
 }

@@ -1,6 +1,9 @@
 package netsim
 
-import "rocc/internal/sim"
+import (
+	"rocc/internal/ringq"
+	"rocc/internal/sim"
+)
 
 // Port is one end of a link. It owns per-class strict-priority queues and
 // serializes packets at the link rate. The data class can be paused by PFC.
@@ -15,7 +18,7 @@ type Port struct {
 	LinkRate  Rate
 	PropDelay sim.Time
 
-	queues     [NumClasses][]*Packet
+	queues     [NumClasses]ringq.Queue[*Packet]
 	queueBytes [NumClasses]int
 	busy       bool
 	paused     bool // PFC pause applies to ClassData only
@@ -39,8 +42,19 @@ type Port struct {
 	TxBytes     uint64 // all classes
 	TxDataBytes uint64
 	TxPackets   uint64
-	PausedFor   sim.Time // cumulative time spent paused
+	pausedFor   sim.Time // completed pause intervals
 	pausedAt    sim.Time
+}
+
+// PausedFor returns the cumulative time the data class has spent
+// PFC-paused, including the in-progress pause if the port is currently
+// paused — so sampling a paused port mid-pause does not undercount.
+func (p *Port) PausedFor() sim.Time {
+	t := p.pausedFor
+	if p.paused {
+		t += p.net.Engine.Now() - p.pausedAt
+	}
+	return t
 }
 
 // Owner returns the node the port belongs to.
@@ -61,7 +75,7 @@ func (p *Port) Paused() bool { return p.paused }
 // the port is idle.
 func (p *Port) Enqueue(pkt *Packet) {
 	c := pkt.Cls
-	p.queues[c] = append(p.queues[c], pkt)
+	p.queues[c].Push(pkt)
 	p.queueBytes[c] += pkt.Size
 	p.trace("enqueue", pkt)
 	p.kick()
@@ -78,7 +92,7 @@ func (p *Port) SetPaused(on bool) {
 		p.pausedAt = now
 		p.trace("pause", &Packet{Kind: KindPause})
 	} else {
-		p.PausedFor += now - p.pausedAt
+		p.pausedFor += now - p.pausedAt
 		p.trace("resume", &Packet{Kind: KindPause})
 		p.kick()
 	}
@@ -91,10 +105,8 @@ func (p *Port) nextPacket() *Packet {
 		if c == ClassData && p.paused {
 			continue
 		}
-		if len(p.queues[c]) > 0 {
-			pkt := p.queues[c][0]
-			copy(p.queues[c], p.queues[c][1:])
-			p.queues[c] = p.queues[c][:len(p.queues[c])-1]
+		if p.queues[c].Len() > 0 {
+			pkt := p.queues[c].Pop()
 			p.queueBytes[c] -= pkt.Size
 			return pkt
 		}

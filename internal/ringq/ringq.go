@@ -1,0 +1,64 @@
+// Package ringq provides a FIFO queue with O(1) amortized push and pop.
+// The simulator's port queues and the testbed's software-switch egress
+// queue previously popped their front with copy(q, q[1:]) — O(n) per
+// dequeue and O(n²) across a congested queue of n packets. This queue
+// keeps a head index instead and compacts the backing slice only
+// periodically, so a drain of n elements is O(n) total while popped
+// slots are still released to the GC promptly.
+package ringq
+
+// compactAt is the head depth beyond which Pop considers sliding the
+// live region back to the front of the backing slice. Compaction also
+// requires the dead prefix to be at least half the slice, which keeps
+// the amortized cost of moves at O(1) per element.
+const compactAt = 64
+
+// Queue is a FIFO queue. The zero value is an empty queue ready for use.
+// It is not safe for concurrent use; callers that share a queue across
+// goroutines (e.g. the testbed switch) must hold their own lock.
+type Queue[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len returns the number of queued elements.
+func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
+
+// Push appends v to the back of the queue.
+func (q *Queue[T]) Push(v T) { q.buf = append(q.buf, v) }
+
+// Front returns the element at the head of the queue without removing
+// it. It panics if the queue is empty.
+func (q *Queue[T]) Front() T {
+	if q.Len() == 0 {
+		panic("ringq: Front of empty queue")
+	}
+	return q.buf[q.head]
+}
+
+// Pop removes and returns the element at the head of the queue. It
+// panics if the queue is empty.
+func (q *Queue[T]) Pop() T {
+	if q.Len() == 0 {
+		panic("ringq: Pop of empty queue")
+	}
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero // release for GC
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		// Drained: reuse the full capacity from the start.
+		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head >= compactAt && q.head*2 >= len(q.buf):
+		// The dead prefix dominates: slide the live region down.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = zero
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v
+}

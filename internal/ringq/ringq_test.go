@@ -1,0 +1,167 @@
+package ringq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	var q Queue[int]
+	if q.Len() != 0 {
+		t.Fatal("zero queue not empty")
+	}
+	for i := 0; i < 10; i++ {
+		q.Push(i)
+	}
+	if q.Front() != 0 {
+		t.Errorf("Front = %d, want 0", q.Front())
+	}
+	for i := 0; i < 10; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if q.Len() != 0 {
+		t.Errorf("Len after drain = %d", q.Len())
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	var q Queue[int]
+	next, want := 0, 0
+	for round := 0; round < 1000; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(next)
+			next++
+		}
+		for i := 0; i < 2; i++ {
+			if got := q.Pop(); got != want {
+				t.Fatalf("Pop = %d, want %d", got, want)
+			}
+			want++
+		}
+	}
+	for q.Len() > 0 {
+		if got := q.Pop(); got != want {
+			t.Fatalf("drain Pop = %d, want %d", got, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Errorf("popped %d, pushed %d", want, next)
+	}
+}
+
+func TestCompactionKeepsOrder(t *testing.T) {
+	// Push far past the compaction threshold and drain with a residue so
+	// both compaction branches fire.
+	var q Queue[int]
+	for i := 0; i < 4*compactAt; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 3*compactAt; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("Pop = %d, want %d", got, i)
+		}
+	}
+	if q.Len() != compactAt {
+		t.Fatalf("Len = %d, want %d", q.Len(), compactAt)
+	}
+	for i := 3 * compactAt; i < 4*compactAt; i++ {
+		if got := q.Pop(); got != i {
+			t.Fatalf("post-compaction Pop = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Pop of empty queue did not panic")
+		}
+	}()
+	var q Queue[int]
+	q.Pop()
+}
+
+func TestFrontEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Front of empty queue did not panic")
+		}
+	}()
+	var q Queue[int]
+	q.Front()
+}
+
+// Property: any push/pop schedule preserves FIFO order and count.
+func TestQueueMatchesSliceModel(t *testing.T) {
+	f := func(ops []bool) bool {
+		var q Queue[int]
+		var model []int
+		next := 0
+		for _, push := range ops {
+			if push || len(model) == 0 {
+				q.Push(next)
+				model = append(model, next)
+				next++
+			} else {
+				want := model[0]
+				model = model[1:]
+				if q.Pop() != want {
+					return false
+				}
+			}
+		}
+		return q.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// shiftQueue is the pre-fix O(n)-per-pop idiom, kept here as the
+// benchmark baseline.
+type shiftQueue[T any] struct{ buf []T }
+
+func (q *shiftQueue[T]) Push(v T) { q.buf = append(q.buf, v) }
+func (q *shiftQueue[T]) Pop() T {
+	v := q.buf[0]
+	copy(q.buf, q.buf[1:])
+	q.buf = q.buf[:len(q.buf)-1]
+	return v
+}
+
+// The congested-queue scenario from the issue: a standing backlog of
+// depth packets with one push per pop. The shift baseline moves the
+// whole backlog on every pop; the ring queue does not.
+func benchStanding(b *testing.B, depth int, push func(int), pop func() int) {
+	for i := 0; i < depth; i++ {
+		push(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		push(depth + i)
+		pop()
+	}
+}
+
+func BenchmarkRingQueueDepth1k(b *testing.B) {
+	var q Queue[int]
+	benchStanding(b, 1000, q.Push, q.Pop)
+}
+
+func BenchmarkShiftQueueDepth1k(b *testing.B) {
+	var q shiftQueue[int]
+	benchStanding(b, 1000, q.Push, q.Pop)
+}
+
+func BenchmarkRingQueueDepth8k(b *testing.B) {
+	var q Queue[int]
+	benchStanding(b, 8000, q.Push, q.Pop)
+}
+
+func BenchmarkShiftQueueDepth8k(b *testing.B) {
+	var q shiftQueue[int]
+	benchStanding(b, 8000, q.Push, q.Pop)
+}

@@ -105,14 +105,52 @@ func TestCI95(t *testing.T) {
 	if CI95([]float64{1}) != 0 {
 		t.Error("CI95 of one sample should be 0")
 	}
+	// n=5 (the paper's repetition count): the interval must use the
+	// Student-t critical value t(0.975, 4) = 2.776. StdDev of these
+	// samples is sqrt(1.3), so the exact expected half-width is
+	// 2.776 * sqrt(1.3) / sqrt(5) = 1.41549... — the pre-fix z=1.96
+	// value (0.99938...) is ~30% too narrow and must NOT be returned.
 	xs := []float64{10, 12, 9, 11, 10}
-	want := 1.96 * StdDev(xs) / math.Sqrt(5)
-	if got := CI95(xs); !almost(got, want, 1e-12) {
+	want := 2.776 * math.Sqrt(1.3) / math.Sqrt(5)
+	got := CI95(xs)
+	if !almost(got, want, 1e-12) {
 		t.Errorf("CI95 = %v, want %v", got, want)
+	}
+	if !almost(got, 1.4154878, 1e-6) {
+		t.Errorf("CI95 = %v, want 1.4154878 exactly", got)
+	}
+	zBased := 1.96 * StdDev(xs) / math.Sqrt(5)
+	if almost(got, zBased, 1e-6) {
+		t.Errorf("CI95 still uses the normal z=1.96 on n=5 (%v)", got)
 	}
 	mean, ci := MeanCI(xs)
 	if mean != Mean(xs) || ci != CI95(xs) {
 		t.Error("MeanCI mismatch")
+	}
+}
+
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0}, {1, 0}, // no interval defined
+		{2, 12.706}, {3, 4.303}, {5, 2.776}, {10, 2.262}, {31, 2.042},
+		{41, 2.021}, {61, 2.000}, {121, 1.980}, {1000, 1.96},
+	}
+	for _, c := range cases {
+		if got := TCrit95(c.n); got != c.want {
+			t.Errorf("TCrit95(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+	// Monotone non-increasing in n: more samples never widen the factor.
+	prev := math.Inf(1)
+	for n := 2; n <= 200; n++ {
+		v := TCrit95(n)
+		if v > prev {
+			t.Fatalf("TCrit95(%d) = %v > TCrit95(%d) = %v", n, v, n-1, prev)
+		}
+		prev = v
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"rocc/internal/core"
+	"rocc/internal/ringq"
 )
 
 // Message types on the wire.
@@ -84,7 +85,7 @@ type Switch struct {
 	sink *net.UDPConn // local socket of the sink receiver
 
 	mu        sync.Mutex
-	queue     [][]byte
+	queue     ringq.Queue[[]byte]
 	queueSize int
 	flowBytes map[uint32]int
 	flowSeen  map[uint32]time.Time
@@ -94,8 +95,9 @@ type Switch struct {
 	fairRate atomic.Int64 // milli-Mb/s for atomic reads
 	qlen     atomic.Int64
 
-	done chan struct{}
-	wg   sync.WaitGroup
+	done       chan struct{}
+	wg         sync.WaitGroup
+	sinkExited atomic.Bool // set when sinkLoop returns (close-ordering regression check)
 
 	// Counters.
 	Forwarded atomic.Int64
@@ -125,7 +127,7 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		cp:        core.NewCP(cfg.CP),
 		done:      make(chan struct{}),
 	}
-	s.wg.Add(3)
+	s.wg.Add(4)
 	go s.receiveLoop()
 	go s.drainLoop()
 	go s.cpLoop()
@@ -166,7 +168,7 @@ func (s *Switch) receiveLoop() {
 		copy(pkt, buf[:n])
 		flow := binary.BigEndian.Uint32(pkt[0:4])
 		s.mu.Lock()
-		s.queue = append(s.queue, pkt)
+		s.queue.Push(pkt)
 		s.queueSize += n
 		s.flowAddr[flow] = addr
 		s.flowSeen[flow] = time.Now()
@@ -197,15 +199,13 @@ func (s *Switch) drainLoop() {
 		last = now
 		credit += s.cfg.DrainRate / 8 * elapsed.Seconds()
 		if max := s.cfg.DrainRate / 8 * 0.002; credit > max {
-			credit = max // cap burst at 4 ms worth
+			credit = max // cap burst at 2 ms worth
 		}
 		for {
 			s.mu.Lock()
 			var pkt []byte
-			if len(s.queue) > 0 && credit >= float64(len(s.queue[0])) {
-				pkt = s.queue[0]
-				copy(s.queue, s.queue[1:])
-				s.queue = s.queue[:len(s.queue)-1]
+			if s.queue.Len() > 0 && credit >= float64(len(s.queue.Front())) {
+				pkt = s.queue.Pop()
 				s.queueSize -= len(pkt)
 				flow := binary.BigEndian.Uint32(pkt[0:4])
 				if b := s.flowBytes[flow] - len(pkt); b > 0 {
@@ -273,6 +273,8 @@ func (s *Switch) cpLoop() {
 
 // sinkLoop drains the sink socket (the destination host).
 func (s *Switch) sinkLoop() {
+	defer s.wg.Done()
+	defer s.sinkExited.Store(true) // runs before wg.Done (LIFO)
 	buf := make([]byte, 65536)
 	for {
 		n, _, err := s.sink.ReadFromUDP(buf)

@@ -19,6 +19,24 @@ func TestSwitchLifecycle(t *testing.T) {
 	sw.Close() // must not hang or panic
 }
 
+// TestCloseWaitsForSinkLoop is the regression test for the untracked
+// sinkLoop goroutine: NewSwitch started four goroutines but registered
+// only three in the WaitGroup, so Close could return while sinkLoop was
+// still reading the sink socket. With the WaitGroup fix, Close must not
+// return until sinkLoop has exited.
+func TestCloseWaitsForSinkLoop(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		sw, err := NewSwitch(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.Close()
+		if !sw.sinkExited.Load() {
+			t.Fatal("Close returned before sinkLoop exited")
+		}
+	}
+}
+
 func TestClientLifecycle(t *testing.T) {
 	cfg := DefaultConfig()
 	sw, err := NewSwitch(cfg)
