@@ -6,22 +6,24 @@
 //	roccsim [flags] <experiment>
 //
 // Experiments: fig5 fig6 fig7a fig7b fig8 fig9 fig11 fig12a fig12b fig13
-// fig14 fig15 fig16 table3 fig17 fig18 fig19 fig20 qos table1 all
+// fig14 fig15 fig16 table3 fig17 fig18 fig19 fig20 qos table1 faults all
 //
 // Flags:
 //
-//	-dur      duration of timed experiments (default per experiment)
-//	-seed     RNG seed (default 1)
-//	-full     use the paper's full fat-tree scale (3x3x30) and durations
-//	-load     average load level for §6.3 runs (default 0.7)
-//	-reps     repetitions per experiment cell (default 1; the paper uses 5);
-//	          rep r runs with seed+r, results merged as mean ± 95% CI
-//	-runs     deprecated alias for -reps (kept for old scripts)
-//	-workers  parallel workers for repetition fan-out (default 0 = GOMAXPROCS);
-//	          results are merged in repetition order, so -workers never
-//	          changes the output, only the wall time
-//	-plot     render queue/rate series as ASCII charts (fig8, fig9, fig13)
-//	-csv      directory to write raw series/bin CSVs into
+//	-dur       duration of timed experiments (default per experiment)
+//	-seed      RNG seed (default 1)
+//	-full      use the paper's full fat-tree scale (3x3x30) and durations
+//	-load      average load level for §6.3 runs (default 0.7)
+//	-reps      repetitions per experiment cell (default 1; the paper uses 5);
+//	           rep r runs with seed+r, results merged as mean ± 95% CI
+//	-runs      deprecated alias for -reps (kept for old scripts)
+//	-workers   parallel workers for repetition fan-out (default 0 = GOMAXPROCS);
+//	           results are merged in repetition order, so -workers never
+//	           changes the output, only the wall time
+//	-plot      render queue/rate series as ASCII charts (fig8, fig9, fig13)
+//	-csv       directory to write raw series/bin CSVs into
+//	-cnp-loss  faults: CNP loss probability (-1 = sweep 5/10/20%)
+//	-link-flap faults: link-flap period (0 = default 5 ms, down 10% of it)
 package main
 
 import (
@@ -54,6 +56,8 @@ var (
 	plotFlag = flag.Bool("plot", false, "render ASCII charts for series-producing experiments")
 	csvFlag  = flag.String("csv", "", "directory to write raw CSV outputs into")
 	fanFlag  = flag.Int("fanin", 0, "synchronized incast fan-in for fig18/fig20 (0 = smooth Poisson; 30 = paper incast level)")
+	cnpFlag  = flag.Float64("cnp-loss", -1, "faults: CNP loss probability (-1 = sweep 5/10/20%)")
+	flapFlag = flag.Duration("link-flap", 0, "faults: link-flap period (0 = default 5ms, down 10% of it)")
 )
 
 // emitSeries optionally plots and/or exports sampled series.
@@ -102,7 +106,7 @@ func emitBins(name, protocol string, bins []stats.BinStat) {
 func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] <fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|all>")
+		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] <fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|all>")
 		os.Exit(2)
 	}
 	name := flag.Arg(0)
@@ -180,6 +184,8 @@ func run(name string) {
 		runQoS()
 	case "table1":
 		runTable1()
+	case "faults":
+		runFaultsExp()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 		os.Exit(2)
@@ -551,6 +557,41 @@ func sizeLabel(bytes int) string {
 		return fmt.Sprintf("%dK", bytes/1000)
 	default:
 		return fmt.Sprintf("%d", bytes)
+	}
+}
+
+// runFaultsExp sweeps the robustness scenario: RoCC on the N=10 star
+// with CNP loss, CNP corruption, a flapping access link and a stalled CP
+// timer, reporting degradation against the fault-free baseline.
+func runFaultsExp() {
+	fmt.Println("faults: RoCC robustness under lost/late/corrupt feedback (N=10, B=40G)")
+	base := experiments.FaultsConfig{Duration: dur(20 * sim.Millisecond), Seed: *seedFlag}
+	losses := []float64{0.05, 0.10, 0.20}
+	if *cnpFlag >= 0 {
+		losses = []float64{*cnpFlag}
+	}
+	cells := experiments.FaultsCells(base, losses, sim.Time(flapFlag.Nanoseconds()))
+	rs := experiments.RunFaultsGrid(cells, *workFlag)
+	var ref float64 // fault-free throughput, cells[0]
+	fmt.Printf("  %-20s %16s %10s %7s %7s %6s %6s\n",
+		"fault", "tput Gb/s", "queue KB", "jain", "stale", "rej", "lost")
+	for i, r := range rs {
+		if r.Err != nil {
+			reportErr("faults "+cells[i].Label(), 0, r.Err)
+			continue
+		}
+		v := r.Value
+		if i == 0 {
+			ref = v.ThroughputGbps
+		}
+		degr := ""
+		if i > 0 && ref > 0 {
+			degr = fmt.Sprintf("(%+.1f%%)", (v.ThroughputGbps/ref-1)*100)
+		}
+		lost := v.Faults.CNPsLost + v.Faults.CNPsStalled + v.Faults.Corrupted
+		fmt.Printf("  %-20s %7.2f %8s %10.1f %7.4f %7d %6d %6d\n",
+			v.Config.Label(), v.ThroughputGbps, degr, v.QueueMeanKB, v.Jain,
+			v.StaleRecoveries, v.CNPsRejected, lost)
 	}
 }
 

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // CPKey identifies a congestion point across the network, used by the RP's
 // CNP acceptance rule (Alg. 2 line 4).
@@ -16,6 +19,46 @@ var NoCP = CPKey{}
 type RPConfig struct {
 	DeltaFMbps float64 // ΔF, must match the CPs' configuration
 	RmaxMbps   float64 // maximum send rate, usually the NIC link bandwidth
+
+	// MaxRateUnits bounds the fair rate a CNP may carry before the RP
+	// rejects it as corrupt. Zero selects the default: a generous
+	// multiple of Rmax/ΔF (CPs on faster links legitimately advertise
+	// rates above this NIC's bandwidth, so the bound only catches
+	// garbage, not cross-speed feedback). Negative disables the bound.
+	MaxRateUnits int
+
+	// StaleK is the number of consecutive fast-recovery expiries without
+	// an accepted CNP after which the RP declares its feedback stale and
+	// unpins the congestion point (see TimerExpired). Zero or negative
+	// disables staleness handling — the default, because CPs also go
+	// silent legitimately (queue drained below the signalling floor) and
+	// re-homing then would alter fault-free trajectories. Deployments
+	// expecting feedback loss set DefaultStaleK.
+	StaleK int
+}
+
+// rejectFactor is the slack on MaxRateUnits' default: CPs on links up to
+// rejectFactor times faster than this NIC stay within the bound.
+const rejectFactor = 16
+
+// DefaultStaleK is the recommended consecutive-expiry threshold for
+// declaring feedback stale: short enough to re-home within a few
+// recovery intervals of an outage, long enough that a single delayed
+// CNP does not trigger it.
+const DefaultStaleK = 3
+
+func (c RPConfig) maxRateUnits() int {
+	if c.MaxRateUnits != 0 {
+		return c.MaxRateUnits
+	}
+	return int(rejectFactor * c.RmaxMbps / c.DeltaFMbps)
+}
+
+func (c RPConfig) staleK() int {
+	if c.StaleK > 0 {
+		return c.StaleK
+	}
+	return 0
 }
 
 // Validate reports configuration errors.
@@ -37,14 +80,18 @@ func (c RPConfig) Validate() error {
 type RP struct {
 	cfg RPConfig
 
-	rcur      float64 // current send rate in Mb/s
-	cpcur     CPKey   // CP that generated the last accepted CNP
-	installed bool    // rate limiter active
+	rcur        float64 // current send rate in Mb/s
+	cpcur       CPKey   // CP that generated the last accepted CNP
+	installed   bool    // rate limiter active
+	staleStreak int     // consecutive timer expiries without an accepted CNP
+	stale       bool    // feedback declared stale; next valid CNP re-homes the flow
 
 	// Counters for instrumentation and tests.
 	CNPsAccepted int
 	CNPsIgnored  int
+	CNPsRejected int // malformed feedback discarded by validation
 	Recoveries   int
+	StaleRecoveries int // recoveries past the staleness threshold (feedback lost)
 }
 
 // NewRP returns an uninstalled reaction point (the flow transmits at Rmax
@@ -65,11 +112,31 @@ func (rp *RP) RateMbps() float64 { return rp.rcur }
 // CurrentCP returns the congestion point of the last accepted CNP.
 func (rp *RP) CurrentCP() CPKey { return rp.cpcur }
 
+// ValidCNP reports whether a CNP's rate units are plausible feedback:
+// non-negative, finite once scaled by ΔF, and within the configured
+// bound. Corrupt feedback (bit flips, malicious or buggy CPs) fails here
+// and must not steer the rate limiter.
+func (rp *RP) ValidCNP(rateUnits int) bool {
+	if rateUnits < 0 {
+		return false
+	}
+	if max := rp.cfg.maxRateUnits(); max > 0 && rateUnits > max {
+		return false
+	}
+	rrcvd := float64(rateUnits) * rp.cfg.DeltaFMbps
+	return !math.IsNaN(rrcvd) && !math.IsInf(rrcvd, 0)
+}
+
 // ProcessCNP implements Process_CNP (Alg. 2 lines 1-7). rateUnits is the
 // fair rate from the CNP in ΔF units and cp identifies its origin. It
 // returns whether the CNP was accepted, in which case the caller must
-// (re)arm the fast-recovery timer.
+// (re)arm the fast-recovery timer. Malformed feedback is rejected before
+// it can touch the rate (graceful degradation under corruption).
 func (rp *RP) ProcessCNP(rateUnits int, cp CPKey) (accepted bool) {
+	if !rp.ValidCNP(rateUnits) {
+		rp.CNPsRejected++
+		return false
+	}
 	rrcvd := float64(rateUnits) * rp.cfg.DeltaFMbps // Line 2
 	if !rp.installed {
 		// First CNP installs the rate limiter.
@@ -77,12 +144,21 @@ func (rp *RP) ProcessCNP(rateUnits int, cp CPKey) (accepted bool) {
 		rp.rcur = rrcvd
 		rp.cpcur = cp
 		rp.CNPsAccepted++
+		rp.staleStreak = 0
+		rp.stale = false
 		return true
 	}
-	if rrcvd <= rp.rcur || cp == rp.cpcur { // Line 4
+	// Line 4, with one extension: after a declared feedback outage (see
+	// TimerExpired) the doubled rcur is a guess, so the first fresh
+	// feedback is accepted unconditionally, exactly like the initial
+	// install. A boolean carries the stale state — comparing cpcur
+	// against NoCP would collide with a legitimate CP at node 0, port 0.
+	if rrcvd <= rp.rcur || cp == rp.cpcur || rp.stale {
 		rp.rcur = rrcvd // Line 5
 		rp.cpcur = cp   // Line 6
 		rp.CNPsAccepted++
+		rp.staleStreak = 0
+		rp.stale = false
 		return true // Line 7: Reset_Timer
 	}
 	rp.CNPsIgnored++
@@ -92,6 +168,15 @@ func (rp *RP) ProcessCNP(rateUnits int, cp CPKey) (accepted bool) {
 // TimerExpired implements Timer_Expired (Alg. 2 lines 8-13). It returns
 // uninstall=true when the rate limiter should be removed (the flow then
 // transmits unconstrained); otherwise the caller re-arms the timer.
+//
+// Every expiry means one recovery interval passed without an accepted
+// CNP. After StaleK consecutive expiries the RP declares its feedback
+// stale — the pinned CP has stopped talking (lost CNPs, a downed link,
+// a stalled CP timer) — and unpins cpcur while it keeps doubling. The
+// unpinned state makes ProcessCNP accept the next valid CNP from *any*
+// congestion point unconditionally (like the initial install), so the
+// flow re-homes in one CNP instead of ignoring higher-rate feedback
+// against a dead CP's last rate until the doubling cascade catches up.
 func (rp *RP) TimerExpired() (uninstall bool) {
 	if !rp.installed {
 		return true
@@ -100,9 +185,19 @@ func (rp *RP) TimerExpired() (uninstall bool) {
 		rp.installed = false // Line 10: remove the rate limiter
 		rp.rcur = rp.cfg.RmaxMbps
 		rp.cpcur = NoCP
+		rp.staleStreak = 0
+		rp.stale = false
 		return true
 	}
 	rp.rcur *= 2 // Line 12: exponential fast recovery
 	rp.Recoveries++
+	if k := rp.cfg.staleK(); k > 0 {
+		rp.staleStreak++
+		if rp.staleStreak >= k {
+			rp.cpcur = NoCP
+			rp.stale = true
+			rp.StaleRecoveries++
+		}
+	}
 	return false // Line 13: Reset_Timer
 }

@@ -9,6 +9,11 @@ func newTestRP() *RP {
 	return NewRP(RPConfig{DeltaFMbps: 10, RmaxMbps: 40000})
 }
 
+// newStaleRP enables the opt-in staleness handling.
+func newStaleRP() *RP {
+	return NewRP(RPConfig{DeltaFMbps: 10, RmaxMbps: 40000, StaleK: DefaultStaleK})
+}
+
 func TestRPConfigValidate(t *testing.T) {
 	if (RPConfig{DeltaFMbps: 0, RmaxMbps: 1}).Validate() == nil {
 		t.Error("zero ΔF accepted")
@@ -197,6 +202,146 @@ func TestHostCPTracksPerCPState(t *testing.T) {
 		b = host.Compute(CPKey{Node: 2}, 0, 0)
 		if a == b {
 			t.Error("per-CP replicas do not evolve independently")
+		}
+	}
+}
+
+// TestRejectMalformedFeedback fuzzes ProcessCNP with the garbage a
+// corrupt wire or buggy CP can produce: every malformed CNP must be
+// rejected without touching the rate, the pinned CP or the streak state.
+func TestRejectMalformedFeedback(t *testing.T) {
+	cp := CPKey{Node: 1}
+	evil := CPKey{Node: 666}
+	cases := []struct {
+		name      string
+		rateUnits int
+	}{
+		{"negative", -1},
+		{"very negative", -1 << 40},
+		{"bit-flipped high", 1 << 30},
+		{"max int", int(^uint(0) >> 1)},
+		{"just past bound", 16*40000/10 + 1},
+	}
+	for _, tc := range cases {
+		rp := newTestRP()
+		rp.ProcessCNP(500, cp) // install at 5000 Mb/s
+		if rp.ProcessCNP(tc.rateUnits, evil) {
+			t.Errorf("%s: malformed CNP accepted", tc.name)
+		}
+		if rp.RateMbps() != 5000 || rp.CurrentCP() != cp {
+			t.Errorf("%s: rate=%v cp=%v perturbed by rejected CNP",
+				tc.name, rp.RateMbps(), rp.CurrentCP())
+		}
+		if rp.CNPsRejected != 1 {
+			t.Errorf("%s: CNPsRejected = %d, want 1", tc.name, rp.CNPsRejected)
+		}
+	}
+}
+
+func TestValidCNPBounds(t *testing.T) {
+	rp := newTestRP() // Rmax 40000, ΔF 10 → default bound 64000 units
+	if !rp.ValidCNP(0) || !rp.ValidCNP(64000) {
+		t.Error("in-bound rate units rejected")
+	}
+	if rp.ValidCNP(-1) || rp.ValidCNP(64001) {
+		t.Error("out-of-bound rate units accepted")
+	}
+	loose := NewRP(RPConfig{DeltaFMbps: 10, RmaxMbps: 40000, MaxRateUnits: -1})
+	if !loose.ValidCNP(1 << 40) {
+		t.Error("negative MaxRateUnits must disable the upper bound")
+	}
+	if loose.ValidCNP(-5) {
+		t.Error("negative units accepted even with the bound disabled")
+	}
+	tight := NewRP(RPConfig{DeltaFMbps: 10, RmaxMbps: 40000, MaxRateUnits: 100})
+	if tight.ValidCNP(101) || !tight.ValidCNP(100) {
+		t.Error("explicit MaxRateUnits not honored")
+	}
+}
+
+// TestStaleFeedbackUnpinsCP: after StaleK silent recovery intervals the
+// RP must unpin its congestion point so feedback from any CP re-homes
+// the flow immediately, instead of being ignored against a dead CP.
+func TestStaleFeedbackUnpinsCP(t *testing.T) {
+	rp := newStaleRP()
+	dead := CPKey{Node: 1}
+	rp.ProcessCNP(100, dead) // install at 1000 Mb/s, pinned to dead
+	for i := 0; i < 2; i++ {
+		rp.TimerExpired()
+		if rp.CurrentCP() != dead || rp.StaleRecoveries != 0 {
+			t.Fatalf("unpinned after only %d expiries", i+1)
+		}
+	}
+	rp.TimerExpired() // third consecutive silent expiry
+	if rp.CurrentCP() != NoCP {
+		t.Error("CP still pinned after StaleK silent expiries")
+	}
+	if rp.StaleRecoveries != 1 {
+		t.Errorf("StaleRecoveries = %d, want 1", rp.StaleRecoveries)
+	}
+	// rcur has doubled to 8000 Mb/s. A 9000 Mb/s CNP from a new CP would
+	// normally be ignored (Alg. 2 line 4: higher rate, different CP),
+	// but the unpinned state accepts it like an install — one CNP
+	// re-homes the flow.
+	other := CPKey{Node: 2}
+	if !rp.ProcessCNP(900, other) {
+		t.Error("higher-rate CNP after staleness not accepted")
+	}
+	if rp.CurrentCP() != other || rp.RateMbps() != 9000 {
+		t.Errorf("re-home failed: cp=%v rate=%v", rp.CurrentCP(), rp.RateMbps())
+	}
+	// Re-homed: normal acceptance applies again.
+	if rp.ProcessCNP(1000, CPKey{Node: 3}) {
+		t.Error("higher rate from a third CP accepted after re-homing")
+	}
+}
+
+// TestAcceptedCNPResetsStaleStreak: the staleness counter only counts
+// consecutive silent intervals.
+func TestAcceptedCNPResetsStaleStreak(t *testing.T) {
+	rp := newStaleRP()
+	cp := CPKey{Node: 1}
+	rp.ProcessCNP(100, cp)
+	rp.TimerExpired()
+	rp.TimerExpired()
+	rp.ProcessCNP(100, cp) // feedback resumed: streak resets
+	rp.TimerExpired()
+	rp.TimerExpired()
+	if rp.StaleRecoveries != 0 || rp.CurrentCP() != cp {
+		t.Errorf("streak not reset by accepted CNP: stale=%d cp=%v",
+			rp.StaleRecoveries, rp.CurrentCP())
+	}
+	rp.TimerExpired()
+	if rp.StaleRecoveries != 1 {
+		t.Error("staleness did not fire after streak rebuilt")
+	}
+}
+
+// TestRejectedCNPDoesNotResetStaleStreak: garbage feedback is not
+// feedback — only accepted CNPs prove the control path alive.
+func TestRejectedCNPDoesNotResetStaleStreak(t *testing.T) {
+	rp := newStaleRP()
+	cp := CPKey{Node: 1}
+	rp.ProcessCNP(100, cp)
+	rp.TimerExpired()
+	rp.TimerExpired()
+	rp.ProcessCNP(-7, cp) // rejected: must not count as liveness
+	rp.TimerExpired()
+	if rp.StaleRecoveries != 1 {
+		t.Errorf("StaleRecoveries = %d after 3 silent expiries with a rejected CNP in between, want 1", rp.StaleRecoveries)
+	}
+}
+
+func TestStaleKDisabledByDefault(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		rp := NewRP(RPConfig{DeltaFMbps: 10, RmaxMbps: 40000, StaleK: k})
+		cp := CPKey{Node: 1}
+		rp.ProcessCNP(100, cp)
+		for i := 0; i < 5; i++ {
+			rp.TimerExpired()
+		}
+		if rp.StaleRecoveries != 0 || rp.CurrentCP() != cp {
+			t.Errorf("StaleK=%d: staleness fired despite being disabled", k)
 		}
 	}
 }

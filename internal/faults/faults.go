@@ -1,0 +1,280 @@
+// Package faults is a deterministic fault-injection layer for the RoCC
+// reproduction. The paper's headline claim is robustness; this package
+// makes that a measurable property by perturbing the control loop the
+// same way real fabrics do — lost, late, duplicated and corrupted
+// packets, flapping links, and stalled congestion-point timers — while
+// keeping the congestion-control algorithms themselves untouched.
+//
+// Design rules:
+//
+//   - Deterministic: an Injector owns a seeded RNG stream that is
+//     independent of the network's workload stream, and every attachment
+//     derives its own sub-stream (sim.Rand.Split). Two runs with the
+//     same seeds produce identical fault sequences, and attaching faults
+//     to one link never perturbs another link's sequence. Per-cell
+//     seeding makes sweeps harness-compatible (internal/harness).
+//
+//   - Pay for what you use: attachments with all probabilities at zero
+//     install no hooks, schedule no events and draw no random numbers,
+//     so a zero-fault run is byte-identical to a run without the layer.
+//
+//   - Injection sits at the simulator's seams (netsim.Port.Fault,
+//     netsim.Switch.InjectGate, Port.SetLinkDown), never inside the
+//     algorithms: RoCC and every baseline see faults only as the absence,
+//     lateness or garbling of the packets they already handle.
+package faults
+
+import (
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+// LinkConfig sets per-packet fault probabilities for one link direction.
+// Probabilities are evaluated in the order drop, corrupt, duplicate,
+// reorder with a single uniform draw, so their sum must not exceed 1.
+type LinkConfig struct {
+	Drop      float64 // packet vanishes on the wire
+	Corrupt   float64 // payload mangled: CNPs carry garbage rate units, other kinds fail CRC and are discarded
+	Duplicate float64 // packet delivered twice
+	Reorder   float64 // packet delayed by ReorderDelay, landing behind later transmissions
+
+	// ReorderDelay is the extra propagation applied to reordered
+	// packets. Zero defaults to 10 µs (several link RTTs).
+	ReorderDelay sim.Time
+
+	// Match restricts the faults to packets it accepts; nil matches all.
+	Match func(pkt *netsim.Packet) bool
+}
+
+func (c LinkConfig) active() bool {
+	return c.Drop > 0 || c.Corrupt > 0 || c.Duplicate > 0 || c.Reorder > 0
+}
+
+func (c LinkConfig) validate() {
+	if c.Drop < 0 || c.Corrupt < 0 || c.Duplicate < 0 || c.Reorder < 0 {
+		panic("faults: negative probability")
+	}
+	if c.Drop+c.Corrupt+c.Duplicate+c.Reorder > 1 {
+		panic("faults: probabilities sum past 1")
+	}
+}
+
+// MatchCNPs restricts link faults to congestion notifications.
+func MatchCNPs(pkt *netsim.Packet) bool { return pkt.Kind == netsim.KindCNP }
+
+// MatchData restricts link faults to data packets.
+func MatchData(pkt *netsim.Packet) bool { return pkt.Kind == netsim.KindData }
+
+// Stats aggregates fault counters across every attachment of an Injector.
+type Stats struct {
+	Dropped    uint64 // link-level drops (all kinds)
+	CNPsLost   uint64 // CNPs lost to link drops and CP gate drops
+	Corrupted  uint64 // packets mangled (CNPs) or CRC-discarded (others)
+	Duplicated uint64
+	Reordered  uint64
+	Flaps      uint64 // completed link-down events
+	CNPsStalled uint64 // CNPs suppressed inside CP stall windows
+	StallWindows uint64
+}
+
+// Injector owns the fault configuration and RNG streams for one network.
+type Injector struct {
+	net   *netsim.Network
+	rand  *sim.Rand
+	stats Stats
+	gates map[*netsim.Switch]*cpGate
+}
+
+// New creates an injector with its own deterministic RNG stream, seeded
+// independently of the network's workload randomness.
+func New(net *netsim.Network, seed int64) *Injector {
+	return &Injector{
+		net:   net,
+		rand:  sim.NewRand(seed),
+		gates: make(map[*netsim.Switch]*cpGate),
+	}
+}
+
+// Stats returns a snapshot of the aggregated fault counters.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Link attaches the fault configuration to both directions of the link
+// between ports a and b. A zero configuration attaches nothing.
+func (in *Injector) Link(a, b *netsim.Port, cfg LinkConfig) {
+	in.Direction(a, cfg)
+	in.Direction(b, cfg)
+}
+
+// Direction attaches the fault configuration to packets leaving one
+// port. Each call derives a private RNG sub-stream so later attachments
+// never perturb earlier ones.
+func (in *Injector) Direction(p *netsim.Port, cfg LinkConfig) {
+	cfg.validate()
+	if !cfg.active() {
+		return
+	}
+	if cfg.ReorderDelay == 0 {
+		cfg.ReorderDelay = 10 * sim.Microsecond
+	}
+	if p.Fault != nil {
+		panic("faults: port already has a fault hook")
+	}
+	p.Fault = &linkHook{in: in, cfg: cfg, rand: in.rand.Split()}
+}
+
+// linkHook implements netsim.FaultHook for one link direction.
+type linkHook struct {
+	in   *Injector
+	cfg  LinkConfig
+	rand *sim.Rand
+}
+
+// OnTransmit rolls one uniform value per matched packet and maps it onto
+// the configured probability ranges.
+func (h *linkHook) OnTransmit(now sim.Time, pkt *netsim.Packet) netsim.FaultVerdict {
+	if h.cfg.Match != nil && !h.cfg.Match(pkt) {
+		return netsim.Deliver(pkt)
+	}
+	u := h.rand.Float64()
+	switch {
+	case u < h.cfg.Drop:
+		h.in.stats.Dropped++
+		if pkt.Kind == netsim.KindCNP {
+			h.in.stats.CNPsLost++
+		}
+		return netsim.FaultVerdict{}
+	case u < h.cfg.Drop+h.cfg.Corrupt:
+		h.in.stats.Corrupted++
+		return netsim.FaultVerdict{Pkt: h.corrupt(pkt)}
+	case u < h.cfg.Drop+h.cfg.Corrupt+h.cfg.Duplicate:
+		h.in.stats.Duplicated++
+		return netsim.FaultVerdict{Pkt: pkt, Duplicate: true}
+	case u < h.cfg.Drop+h.cfg.Corrupt+h.cfg.Duplicate+h.cfg.Reorder:
+		h.in.stats.Reordered++
+		return netsim.FaultVerdict{Pkt: pkt, ExtraDelay: h.cfg.ReorderDelay}
+	}
+	return netsim.Deliver(pkt)
+}
+
+// corrupt mangles a packet's payload. CNPs survive the wire with garbage
+// rate units — exercising the reaction point's feedback validation —
+// while every other kind fails its CRC at the receiver and is discarded.
+func (h *linkHook) corrupt(pkt *netsim.Packet) *netsim.Packet {
+	if pkt.Kind != netsim.KindCNP || pkt.CNP == nil {
+		return nil
+	}
+	c := pkt.Clone()
+	garbage := func() int {
+		if h.rand.Intn(2) == 0 {
+			return -1 - h.rand.Intn(1 << 20) // negative rate
+		}
+		return 1<<30 + h.rand.Intn(1<<20) // absurdly large rate
+	}
+	if c.CNP.HostComputed {
+		c.CNP.QCurUnits = garbage()
+		c.CNP.QOldUnits = garbage()
+	} else {
+		c.CNP.RateUnits = garbage()
+	}
+	return c
+}
+
+// Flap schedules a periodic outage on the link between ports a and b:
+// every period the link drops for downFor, losing everything in transit
+// on it (data, CNPs and PFC frames), then re-establishes with pause
+// state cleared on both ends. The first outage starts one period in.
+func (in *Injector) Flap(a, b *netsim.Port, period, downFor sim.Time) {
+	if period <= 0 || downFor <= 0 {
+		return
+	}
+	if downFor >= period {
+		panic("faults: flap down time must be shorter than its period")
+	}
+	engine := in.net.Engine
+	var down func()
+	down = func() {
+		a.SetLinkDown(true)
+		b.SetLinkDown(true)
+		engine.After(downFor, func() {
+			a.SetLinkDown(false)
+			b.SetLinkDown(false)
+			in.stats.Flaps++
+			engine.After(period-downFor, down)
+		})
+	}
+	engine.After(period, down)
+}
+
+// cpGate filters one switch's locally generated CNPs: probabilistic loss
+// plus stall windows, sharing the single netsim.Switch.InjectGate slot.
+type cpGate struct {
+	in      *Injector
+	rand    *sim.Rand
+	drop    float64
+	stalled bool
+}
+
+func (g *cpGate) allow(pkt *netsim.Packet) bool {
+	if pkt.Kind != netsim.KindCNP {
+		return true
+	}
+	if g.stalled {
+		g.in.stats.CNPsStalled++
+		return false
+	}
+	if g.drop > 0 && g.rand.Float64() < g.drop {
+		g.in.stats.CNPsLost++
+		return false
+	}
+	return true
+}
+
+func (in *Injector) gate(sw *netsim.Switch) *cpGate {
+	g, ok := in.gates[sw]
+	if !ok {
+		if sw.InjectGate != nil {
+			panic("faults: switch already has an inject gate")
+		}
+		g = &cpGate{in: in, rand: in.rand.Split()}
+		sw.InjectGate = g.allow
+		in.gates[sw] = g
+	}
+	return g
+}
+
+// DropCNPs makes the switch lose each CNP it generates with probability
+// prob — feedback loss on the control path. Zero attaches nothing.
+func (in *Injector) DropCNPs(sw *netsim.Switch, prob float64) {
+	if prob < 0 || prob > 1 {
+		panic("faults: CNP drop probability out of range")
+	}
+	if prob == 0 {
+		return
+	}
+	in.gate(sw).drop = prob
+}
+
+// StallCP silences the switch's congestion points for stallFor out of
+// every period, modeling a stalled CP timer (late feedback): CNPs due in
+// the window are suppressed, not queued. The first window opens one
+// period in.
+func (in *Injector) StallCP(sw *netsim.Switch, period, stallFor sim.Time) {
+	if period <= 0 || stallFor <= 0 {
+		return
+	}
+	if stallFor >= period {
+		panic("faults: stall window must be shorter than its period")
+	}
+	g := in.gate(sw)
+	engine := in.net.Engine
+	var stall func()
+	stall = func() {
+		g.stalled = true
+		in.stats.StallWindows++
+		engine.After(stallFor, func() {
+			g.stalled = false
+			engine.After(period-stallFor, stall)
+		})
+	}
+	engine.After(period, stall)
+}

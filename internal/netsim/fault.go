@@ -1,0 +1,59 @@
+package netsim
+
+import "rocc/internal/sim"
+
+// FaultHook intercepts packets the moment they finish serializing on a
+// port and are about to propagate to the link peer. It is the seam the
+// fault-injection layer (internal/faults) attaches to: the simulator
+// calls it for every packet on a link — data, ACKs, CNPs and PFC pause
+// frames alike — and the hook decides the packet's fate. Ports without a
+// hook behave exactly as if this file did not exist (no extra events, no
+// RNG draws), so fault-free runs are byte-identical with or without the
+// layer compiled in.
+type FaultHook interface {
+	// OnTransmit returns the fate of pkt on this link. The returned
+	// verdict's Pkt is what actually propagates: pkt itself (healthy),
+	// a mangled clone (corruption), or nil (the link lost the packet).
+	OnTransmit(now sim.Time, pkt *Packet) FaultVerdict
+}
+
+// FaultVerdict is a FaultHook's decision for one packet.
+type FaultVerdict struct {
+	// Pkt is the packet to deliver, or nil if the link dropped it.
+	Pkt *Packet
+
+	// ExtraDelay is added to the link's propagation delay, landing the
+	// packet behind later transmissions (reordering / late feedback).
+	ExtraDelay sim.Time
+
+	// Duplicate delivers a second, cloned copy of Pkt.
+	Duplicate bool
+}
+
+// Deliver is the identity verdict: pkt propagates unharmed.
+func Deliver(pkt *Packet) FaultVerdict { return FaultVerdict{Pkt: pkt} }
+
+// Clone copies a packet for duplicate delivery. Packets are normally
+// owned by exactly one queue or in-flight event, so the copy gets its
+// own CNP payload and INT slice — the receiver and any switch pipeline
+// may mutate them independently.
+func (pkt *Packet) Clone() *Packet {
+	c := *pkt
+	if pkt.CNP != nil {
+		info := *pkt.CNP
+		c.CNP = &info
+	}
+	if len(pkt.INT) > 0 {
+		c.INT = append([]INTRecord(nil), pkt.INT...)
+	}
+	if len(pkt.EchoINT) > 0 {
+		c.EchoINT = append([]INTRecord(nil), pkt.EchoINT...)
+	}
+	return &c
+}
+
+// pfcResetter is implemented by nodes whose sent-pause bookkeeping must
+// be cleared when one of their links re-establishes (see Port.SetLinkDown).
+type pfcResetter interface {
+	resetPFC(portIndex int)
+}

@@ -34,16 +34,24 @@ type Port struct {
 	// CC is the switch-side congestion-control attachment, if any.
 	CC PortCC
 
+	// Fault, when set, adjudicates every packet leaving this port
+	// (drop/duplicate/delay/corrupt — see internal/faults). Nil means a
+	// perfect link.
+	Fault FaultHook
+
 	// Tracer, when set, records this port's enqueue/dequeue/pause events
 	// into a bounded ring for debugging.
 	Tracer *Tracer
 
+	linkDown bool // packets transmitted while down are lost
+
 	// Counters.
-	TxBytes     uint64 // all classes
-	TxDataBytes uint64
-	TxPackets   uint64
-	pausedFor   sim.Time // completed pause intervals
-	pausedAt    sim.Time
+	TxBytes       uint64 // all classes
+	TxDataBytes   uint64
+	TxPackets     uint64
+	LinkDownDrops uint64 // packets lost to a downed link
+	pausedFor     sim.Time // completed pause intervals
+	pausedAt      sim.Time
 }
 
 // PausedFor returns the cumulative time the data class has spent
@@ -70,6 +78,32 @@ func (p *Port) DataQueueBytes() int { return p.queueBytes[ClassData] }
 
 // Paused reports whether the data class is PFC-paused.
 func (p *Port) Paused() bool { return p.paused }
+
+// LinkDown reports whether the link is administratively down at this end.
+func (p *Port) LinkDown() bool { return p.linkDown }
+
+// SetLinkDown takes this end of the link down or brings it back up. While
+// down, everything the port transmits (including PFC frames) is lost.
+// Bringing the link up models an 802.1Qbb re-establishment: pause state
+// is link-local, so the received-pause flag and the owner's sent-Xoff
+// bookkeeping are cleared — a pause deadline must not survive a flap.
+// The fault layer flaps both ends of a link together (see faults.Flap).
+func (p *Port) SetLinkDown(down bool) {
+	if p.linkDown == down {
+		return
+	}
+	p.linkDown = down
+	if down {
+		return
+	}
+	if p.paused {
+		p.SetPaused(false)
+	}
+	if r, ok := p.owner.(pfcResetter); ok {
+		r.resetPFC(p.Index)
+	}
+	p.kick()
+}
 
 // Enqueue appends a packet to its class queue and starts transmission if
 // the port is idle.
@@ -147,24 +181,51 @@ func (p *Port) kick() {
 		if pkt.Kind == KindData {
 			p.TxDataBytes += uint64(pkt.Size)
 		}
-		peer, peerPort := p.PeerNode, p.PeerPort
-		p.net.Engine.After(p.PropDelay, func() {
-			peer.Arrive(pkt, peerPort)
-		})
+		p.deliver(pkt, p.PropDelay)
 		p.kick()
 	})
+}
+
+// deliver puts a serialized packet on the wire toward the link peer: it
+// consults the link state and the fault hook, then schedules the arrival
+// after delay. With the link up and no hook attached this schedules
+// exactly one event, identical to a direct delivery.
+func (p *Port) deliver(pkt *Packet, delay sim.Time) {
+	if p.linkDown {
+		p.LinkDownDrops++
+		return
+	}
+	dup := false
+	if p.Fault != nil {
+		v := p.Fault.OnTransmit(p.net.Engine.Now(), pkt)
+		if v.Pkt == nil {
+			return
+		}
+		pkt = v.Pkt
+		delay += v.ExtraDelay
+		dup = v.Duplicate
+	}
+	peer, peerPort := p.PeerNode, p.PeerPort
+	p.net.Engine.After(delay, func() {
+		peer.Arrive(pkt, peerPort)
+	})
+	if dup {
+		second := pkt.Clone()
+		p.net.Engine.After(delay, func() {
+			peer.Arrive(second, peerPort)
+		})
+	}
 }
 
 // sendPauseFrame delivers a PFC pause/resume to the link peer out of band
 // (PFC frames preempt data in real hardware; we model them as a fixed
 // serialization plus propagation delay that does not occupy the queue).
+// Pause frames traverse deliver like everything else, so a downed or
+// faulty link can lose them — the peer then stays paused (or unpaused)
+// until the link-up reset clears the state.
 func (p *Port) sendPauseFrame(on bool) {
 	pkt := &Packet{Kind: KindPause, Cls: ClassCtrl, Size: PauseBytes, PauseOn: on}
-	delay := p.LinkRate.TxTime(PauseBytes) + p.PropDelay
-	peer, peerPort := p.PeerNode, p.PeerPort
-	p.net.Engine.After(delay, func() {
-		peer.Arrive(pkt, peerPort)
-	})
+	p.deliver(pkt, p.LinkRate.TxTime(PauseBytes)+p.PropDelay)
 }
 
 // Utilization returns the fraction of link capacity used by transmissions

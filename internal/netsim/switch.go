@@ -64,6 +64,11 @@ type Switch struct {
 	pausedIngress []bool
 	sharedOver    bool // shared-buffer occupancy above the PFC threshold
 
+	// InjectGate, when set, vetoes locally generated packets (RoCC CNPs)
+	// before they enter the egress pipeline: the fault layer uses it for
+	// CP stall windows and probabilistic feedback loss. Nil admits all.
+	InjectGate func(pkt *Packet) bool
+
 	// Counters.
 	PauseFrames   int // Xoff frames sent (the paper's "PFC activations")
 	ResumeFrames  int
@@ -193,8 +198,19 @@ func (s *Switch) egressFor(pkt *Packet) *Port {
 	return s.ports[choices[h%uint64(len(choices))]]
 }
 
+// resetPFC clears the sent-Xoff record for one ingress after its link
+// re-established (the peer's pause state did not survive the flap). If
+// the ingress is still over its watermark the next data arrival re-sends
+// Xoff through the normal path.
+func (s *Switch) resetPFC(portIndex int) {
+	s.pausedIngress[portIndex] = false
+}
+
 // Inject routes a locally generated packet (a RoCC CNP) out of the switch.
 func (s *Switch) Inject(pkt *Packet) {
+	if s.InjectGate != nil && !s.InjectGate(pkt) {
+		return
+	}
 	egress := s.egressFor(pkt)
 	if egress == nil {
 		panic("netsim: switch " + s.Name + " has no route for injected packet")

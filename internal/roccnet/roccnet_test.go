@@ -237,3 +237,41 @@ func TestCNPsAreICMPLikeAndPrioritized(t *testing.T) {
 		t.Fatal("CNPs never delivered to sources")
 	}
 }
+
+// TestOnCNPRejectsMalformedFeedback: garbage feedback — whether a
+// mangled fair rate (switch-computed mode) or a mangled queue
+// observation (host-computed mode) — must be counted and discarded
+// before it can steer the rate or poison the host-side CP replica.
+func TestOnCNPRejectsMalformedFeedback(t *testing.T) {
+	engine := sim.New()
+	_, srcs, _, _ := buildStar(t, engine, 1, 40)
+	cc := NewFlowCC(engine, srcs[0], RPOptions{})
+	cpid := netsim.CPID{Node: 3}
+	cnp := func(info netsim.CNPInfo) *netsim.Packet {
+		info.CP = cpid
+		return &netsim.Packet{Kind: netsim.KindCNP, CNP: &info}
+	}
+	cc.OnCNP(engine.Now(), cnp(netsim.CNPInfo{RateUnits: 200}))
+	if !cc.RP().Installed() {
+		t.Fatal("valid CNP did not install the rate limiter")
+	}
+	rate := cc.RP().RateMbps()
+
+	cc.OnCNP(engine.Now(), cnp(netsim.CNPInfo{RateUnits: -1}))
+	cc.OnCNP(engine.Now(), cnp(netsim.CNPInfo{RateUnits: 1 << 30}))
+	cc.OnCNP(engine.Now(), cnp(netsim.CNPInfo{HostComputed: true, QCurUnits: -5, QOldUnits: 2}))
+	cc.OnCNP(engine.Now(), cnp(netsim.CNPInfo{HostComputed: true, QCurUnits: 1 << 30, QOldUnits: 0}))
+	if got := cc.RP().CNPsRejected; got != 4 {
+		t.Errorf("CNPsRejected = %d, want 4", got)
+	}
+	if cc.RP().RateMbps() != rate {
+		t.Errorf("rate moved from %v to %v on rejected feedback", rate, cc.RP().RateMbps())
+	}
+	// The host replica must not have been created/advanced by the
+	// rejected observations: a valid host-computed CNP now computes from
+	// clean state and still works.
+	cc.OnCNP(engine.Now(), cnp(netsim.CNPInfo{HostComputed: true, QCurUnits: 10, QOldUnits: 8}))
+	if cc.RP().CNPsRejected != 4 {
+		t.Error("valid host-computed CNP rejected")
+	}
+}

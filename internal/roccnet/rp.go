@@ -32,6 +32,16 @@ type RPOptions struct {
 	// queue observations for the missed intervals, exactly as the
 	// switch-side controller would have. Defaults to 40 µs.
 	HostT sim.Time
+
+	// StaleK is the feedback-staleness threshold forwarded to the core
+	// RP: after StaleK consecutive recovery expiries without an accepted
+	// CNP the RP unpins its congestion point and accepts the next valid
+	// CNP unconditionally. Zero (the default) disables staleness
+	// handling; fault-tolerant deployments set core.DefaultStaleK.
+	StaleK int
+
+	// MaxRateUnits overrides the core RP's corrupt-feedback bound.
+	MaxRateUnits int
 }
 
 func (o *RPOptions) fill() {
@@ -45,6 +55,10 @@ func (o *RPOptions) fill() {
 		o.HostT = 40 * sim.Microsecond
 	}
 }
+
+// maxQueueUnits bounds a host-computed CNP's raw queue observation: in
+// ΔQ units of 600 B this is ~10 GB of queue, far past any real buffer.
+const maxQueueUnits = 1 << 24
 
 // FlowCC is the RoCC reaction point as a netsim flow controller: it paces
 // the flow at the fair rate of its most congested CP and exponentially
@@ -71,7 +85,12 @@ func NewFlowCC(engine *sim.Engine, host *netsim.Host, opts RPOptions) *FlowCC {
 		engine: engine,
 		host:   host,
 		opts:   opts,
-		rp:     core.NewRP(core.RPConfig{DeltaFMbps: opts.DeltaFMbps, RmaxMbps: opts.RmaxMbps}),
+		rp: core.NewRP(core.RPConfig{
+			DeltaFMbps:   opts.DeltaFMbps,
+			RmaxMbps:     opts.RmaxMbps,
+			StaleK:       opts.StaleK,
+			MaxRateUnits: opts.MaxRateUnits,
+		}),
 	}
 	if opts.HostRegistry != nil {
 		cc.hostCP = core.NewHostCP(opts.HostRegistry)
@@ -110,6 +129,15 @@ func (cc *FlowCC) OnCNP(now sim.Time, pkt *netsim.Packet) {
 	cpKey := core.CPKey{Node: int64(info.CP.Node), Port: info.CP.Port}
 	rateUnits := info.RateUnits
 	if info.HostComputed {
+		// Raw queue observations feed the local CP replica, which carries
+		// state across CNPs — garbage here would poison every later rate,
+		// not just this one. Reject it before Compute. Real queues are at
+		// most a few MB (thousands of ΔQ units); 1<<24 units is ~10 GB.
+		if info.QCurUnits < 0 || info.QOldUnits < 0 ||
+			info.QCurUnits > maxQueueUnits || info.QOldUnits > maxQueueUnits {
+			cc.rp.CNPsRejected++
+			return
+		}
 		if cc.hostCP == nil {
 			cc.hostCP = core.NewHostCP(nil)
 		}

@@ -15,7 +15,9 @@ package testbed
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -34,6 +36,57 @@ const (
 // headerLen is flow id (4) + type (1) + padding (3).
 const headerLen = 8
 
+// Read-loop hardening parameters: every read carries a short deadline so
+// the loop observes shutdown without the socket being closed under it,
+// and transient errors (ICMP port-unreachable surfacing as ECONNREFUSED,
+// EINTR, momentary buffer pressure) are retried with bounded backoff
+// instead of killing the loop or spamming stderr.
+const (
+	readPoll       = 20 * time.Millisecond
+	maxReadRetries = 8
+	readBackoffMax = 100 * time.Millisecond
+)
+
+// pollRead reads one datagram under the deadline-polling regime. It
+// returns ok=false when the caller should exit: done closed, socket
+// closed, or the transient-error retry budget exhausted. Transient errors
+// are counted in errCount, never logged.
+func pollRead(conn *net.UDPConn, buf []byte, done <-chan struct{}, errCount *atomic.Int64) (n int, addr *net.UDPAddr, ok bool) {
+	retries := 0
+	backoff := time.Millisecond
+	for {
+		select {
+		case <-done:
+			return 0, nil, false
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(readPoll))
+		n, addr, err := conn.ReadFromUDP(buf)
+		if err == nil {
+			return n, addr, true
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			// Deadline poll: the socket is healthy, there was just nothing
+			// to read. Reset the transient-error budget.
+			retries = 0
+			backoff = time.Millisecond
+			continue
+		}
+		if errors.Is(err, net.ErrClosed) {
+			return 0, nil, false
+		}
+		errCount.Add(1)
+		if retries++; retries > maxReadRetries {
+			return 0, nil, false
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > readBackoffMax {
+			backoff = readBackoffMax
+		}
+	}
+}
+
 // Config parameterizes a testbed run.
 type Config struct {
 	// DrainRate is the software switch's egress bandwidth in bits/s.
@@ -51,6 +104,16 @@ type Config struct {
 
 	// RecoveryTimer is the RP fast-recovery interval.
 	RecoveryTimer time.Duration
+
+	// CNPDropProb makes the switch lose each CNP it would send with this
+	// probability — feedback loss on the control path. The clients must
+	// then survive on fast recovery alone until the next CNP lands. Zero
+	// (the default) sends every CNP and draws no random numbers.
+	CNPDropProb float64
+
+	// FaultSeed seeds the CNP-drop randomness; runs with the same seed
+	// drop the same sequence of decisions. Zero selects seed 1.
+	FaultSeed int64
 }
 
 // DefaultConfig returns a laptop-friendly configuration: a 400 Mb/s
@@ -98,10 +161,13 @@ type Switch struct {
 	done       chan struct{}
 	wg         sync.WaitGroup
 	sinkExited atomic.Bool // set when sinkLoop returns (close-ordering regression check)
+	cnpRand    *rand.Rand  // CNP-drop fault stream; nil when CNPDropProb is 0 (cpLoop only)
 
 	// Counters.
-	Forwarded atomic.Int64
-	CNPsSent  atomic.Int64
+	Forwarded   atomic.Int64
+	CNPsSent    atomic.Int64
+	CNPsDropped atomic.Int64 // CNPs lost to injected control-path faults
+	ReadErrors  atomic.Int64 // transient socket read errors survived
 }
 
 // NewSwitch starts a software switch listening on a loopback UDP port.
@@ -127,6 +193,18 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		cp:        core.NewCP(cfg.CP),
 		done:      make(chan struct{}),
 	}
+	if cfg.CNPDropProb < 0 || cfg.CNPDropProb > 1 {
+		conn.Close()
+		sink.Close()
+		return nil, fmt.Errorf("testbed: CNP drop probability %v out of range", cfg.CNPDropProb)
+	}
+	if cfg.CNPDropProb > 0 {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		s.cnpRand = rand.New(rand.NewSource(seed))
+	}
 	s.wg.Add(4)
 	go s.receiveLoop()
 	go s.drainLoop()
@@ -144,12 +222,14 @@ func (s *Switch) QueueBytes() int { return int(s.qlen.Load()) }
 // FairRateMbps returns the CP's current fair rate.
 func (s *Switch) FairRateMbps() float64 { return float64(s.fairRate.Load()) / 1000 }
 
-// Close stops the switch.
+// Close stops the switch: signal done, let every loop notice it at its
+// next deadline poll, then close the sockets. The loops never see their
+// socket closed while running, so shutdown produces no spurious errors.
 func (s *Switch) Close() {
 	close(s.done)
+	s.wg.Wait()
 	s.conn.Close()
 	s.sink.Close()
-	s.wg.Wait()
 }
 
 // receiveLoop ingests client datagrams into the egress queue.
@@ -157,9 +237,9 @@ func (s *Switch) receiveLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, 65536)
 	for {
-		n, addr, err := s.conn.ReadFromUDP(buf)
-		if err != nil {
-			return // closed
+		n, addr, ok := pollRead(s.conn, buf, s.done, &s.ReadErrors)
+		if !ok {
+			return
 		}
 		if n < headerLen || buf[4] != msgData {
 			continue
@@ -261,6 +341,10 @@ func (s *Switch) cpLoop() {
 		}
 		s.mu.Unlock()
 		for _, d := range dests {
+			if s.cnpRand != nil && s.cnpRand.Float64() < s.cfg.CNPDropProb {
+				s.CNPsDropped.Add(1)
+				continue
+			}
 			cnp := make([]byte, headerLen+4)
 			binary.BigEndian.PutUint32(cnp[0:4], d.flow)
 			cnp[4] = msgCNP
@@ -277,11 +361,9 @@ func (s *Switch) sinkLoop() {
 	defer s.sinkExited.Store(true) // runs before wg.Done (LIFO)
 	buf := make([]byte, 65536)
 	for {
-		n, _, err := s.sink.ReadFromUDP(buf)
-		if err != nil {
+		if _, _, ok := pollRead(s.sink, buf, s.done, &s.ReadErrors); !ok {
 			return
 		}
-		_ = n
 	}
 }
 
@@ -300,8 +382,9 @@ type Client struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 
-	SentBytes atomic.Int64
-	CNPsRecv  atomic.Int64
+	SentBytes  atomic.Int64
+	CNPsRecv   atomic.Int64
+	ReadErrors atomic.Int64 // transient socket read errors survived
 }
 
 // NewClient starts a client sending flow `flow` at the offered rate
@@ -320,6 +403,9 @@ func NewClient(cfg Config, flow uint32, sw *Switch, offeredBps float64) (*Client
 		rp: core.NewRP(core.RPConfig{
 			DeltaFMbps: cfg.CP.DeltaFMbps,
 			RmaxMbps:   cfg.CP.FmaxMbps,
+			// The control socket is best-effort UDP (and CNPDropProb can
+			// make it lossy on purpose), so staleness handling stays on.
+			StaleK: core.DefaultStaleK,
 		}),
 		done: make(chan struct{}),
 	}
@@ -349,16 +435,16 @@ func (c *Client) currentRateLocked() float64 {
 	return rate
 }
 
-// Close stops the client.
+// Close stops the client (see Switch.Close for the ordering).
 func (c *Client) Close() {
 	close(c.done)
-	c.conn.Close()
 	c.mu.Lock()
 	if c.timer != nil {
 		c.timer.Stop()
 	}
 	c.mu.Unlock()
 	c.wg.Wait()
+	c.conn.Close()
 }
 
 // sendLoop paces data datagrams at min(offered, RP rate).
@@ -402,8 +488,8 @@ func (c *Client) cnpLoop() {
 	buf := make([]byte, 2048)
 	cpKey := core.CPKey{Node: 1, Port: 0}
 	for {
-		n, _, err := c.conn.ReadFromUDP(buf)
-		if err != nil {
+		n, _, ok := pollRead(c.conn, buf, c.done, &c.ReadErrors)
+		if !ok {
 			return
 		}
 		if n < headerLen+4 || buf[4] != msgCNP {

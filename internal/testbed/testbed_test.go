@@ -161,3 +161,77 @@ func TestMixedScenarioProtectsInnocents(t *testing.T) {
 		t.Errorf("greedy flow below innocent flow: %v", res.ClientRates)
 	}
 }
+
+func TestCNPDropProbValidated(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.5} {
+		cfg := DefaultConfig()
+		cfg.CNPDropProb = p
+		if _, err := NewSwitch(cfg); err == nil {
+			t.Errorf("CNPDropProb %v accepted", p)
+		}
+	}
+}
+
+// TestCNPDropCounterFires checks the control-path fault injection: with a
+// lossy CNP path the switch must count drops, the client must still
+// receive the surviving CNPs, and the run must shut down cleanly.
+func TestCNPDropCounterFires(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CNPDropProb = 0.5
+	cfg.FaultSeed = 7
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	c, err := NewClient(cfg, 1, sw, cfg.DrainRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if sw.CNPsDropped.Load() > 0 && c.CNPsRecv.Load() > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sw.CNPsDropped.Load() == 0 {
+		t.Error("no CNPs dropped at 50% loss")
+	}
+	if sw.CNPsSent.Load() == 0 {
+		t.Error("no CNPs survived 50% loss")
+	}
+	if c.CNPsRecv.Load() == 0 {
+		t.Error("client received no CNPs")
+	}
+}
+
+// TestCleanShutdownNoReadErrors: a fault-free run followed by an orderly
+// Close must record zero transient read errors — the deadline-polling
+// loops exit on the done channel, never by observing a closed socket.
+func TestCleanShutdownNoReadErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewClient(cfg, 1, sw, 50e6)
+	if err != nil {
+		sw.Close()
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	start := time.Now()
+	c.Close()
+	sw.Close()
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("shutdown took %v, deadline polls should notice done within ~%v", d, readPoll)
+	}
+	if n := sw.ReadErrors.Load(); n != 0 {
+		t.Errorf("switch survived %d read errors during a clean run", n)
+	}
+	if n := c.ReadErrors.Load(); n != 0 {
+		t.Errorf("client survived %d read errors during a clean run", n)
+	}
+}
