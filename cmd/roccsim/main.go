@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	roccsim [flags] <experiment>
+//	roccsim [flags] [experiment]
 //
 // Experiments: fig5 fig6 fig7a fig7b fig8 fig9 fig11 fig12a fig12b fig13
 // fig14 fig15 fig16 table3 fig17 fig18 fig19 fig20 qos table1 faults all
+// (default fig8)
 //
 // Flags:
 //
@@ -22,6 +23,13 @@
 //	           changes the output, only the wall time
 //	-plot      render queue/rate series as ASCII charts (fig8, fig9, fig13)
 //	-csv       directory to write raw series/bin CSVs into
+//	-protocol  protocol under test for fig8/fig9 (rocc, dcqcn, dcqcn+pi,
+//	           hpcc, timely, qcn, dctcp); comparison figures sweep their
+//	           own protocol sets and ignore this
+//	-trace     write a Chrome trace-event JSON of the run's flight
+//	           recorder to this file (load in chrome://tracing or Perfetto)
+//	-metrics   print the telemetry registry snapshot after the run; with
+//	           -csv also writes metrics.csv
 //	-cnp-loss  faults: CNP loss probability (-1 = sweep 5/10/20%)
 //	-link-flap faults: link-flap period (0 = default 5 ms, down 10% of it)
 package main
@@ -41,6 +49,7 @@ import (
 	"rocc/internal/roccnet"
 	"rocc/internal/sim"
 	"rocc/internal/stats"
+	"rocc/internal/telemetry"
 	"rocc/internal/topology"
 	"rocc/internal/workload"
 )
@@ -58,6 +67,17 @@ var (
 	fanFlag  = flag.Int("fanin", 0, "synchronized incast fan-in for fig18/fig20 (0 = smooth Poisson; 30 = paper incast level)")
 	cnpFlag  = flag.Float64("cnp-loss", -1, "faults: CNP loss probability (-1 = sweep 5/10/20%)")
 	flapFlag = flag.Duration("link-flap", 0, "faults: link-flap period (0 = default 5ms, down 10% of it)")
+
+	protoFlag   = flag.String("protocol", "rocc", "protocol under test for fig8/fig9 (rocc|dcqcn|dcqcn+pi|hpcc|timely|qcn|dctcp)")
+	traceFlag   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
+	metricsFlag = flag.Bool("metrics", false, "print the telemetry metrics snapshot after the run")
+)
+
+// proto is the -protocol flag resolved by main; runTel is the telemetry
+// bundle experiments attach to when -trace or -metrics asks for one.
+var (
+	proto  experiments.Protocol
+	runTel *experiments.RunTelemetry
 )
 
 // emitSeries optionally plots and/or exports sampled series.
@@ -105,11 +125,22 @@ func emitBins(name, protocol string, bins []stats.BinStat) {
 
 func main() {
 	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] <fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|all>")
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|all]")
 		os.Exit(2)
 	}
-	name := flag.Arg(0)
+	name := "fig8" // the canonical single-bottleneck experiment
+	if flag.NArg() == 1 {
+		name = flag.Arg(0)
+	}
+	var err error
+	if proto, err = experiments.ParseProtocol(*protoFlag); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *traceFlag != "" || *metricsFlag {
+		runTel = experiments.NewRunTelemetry()
+	}
 	start := time.Now()
 	if name == "all" {
 		for _, n := range []string{"table1", "fig5", "fig6", "fig7a", "fig7b", "fig8", "fig9", "fig11",
@@ -120,7 +151,55 @@ func main() {
 	} else {
 		run(name)
 	}
+	emitTelemetry()
 	fmt.Printf("\n(wall time %v)\n", time.Since(start).Round(time.Millisecond))
+}
+
+// emitTelemetry writes the -trace Chrome trace and the -metrics snapshot
+// collected over the run. Experiments that don't attach the bundle (only
+// fig8 and fig9 do) leave it empty; that still produces a valid, empty
+// trace rather than an error.
+func emitTelemetry() {
+	if runTel == nil {
+		return
+	}
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+		} else {
+			events := runTel.Events()
+			if err := telemetry.WriteChromeTrace(f, events); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			} else {
+				fmt.Printf("\nwrote %d trace events to %s (load in chrome://tracing or ui.perfetto.dev)\n",
+					len(events), *traceFlag)
+			}
+			f.Close()
+		}
+	}
+	if *metricsFlag {
+		snap := runTel.Snapshot()
+		fmt.Println("\nmetrics snapshot:")
+		if err := snap.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "metrics:", err)
+		}
+		if *csvFlag != "" {
+			if err := os.MkdirAll(*csvFlag, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+				return
+			}
+			f, err := os.Create(filepath.Join(*csvFlag, "metrics.csv"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+				return
+			}
+			defer f.Close()
+			if err := export.Metrics(f, snap); err != nil {
+				fmt.Fprintln(os.Stderr, "metrics:", err)
+			}
+		}
+	}
 }
 
 func dur(def sim.Time) sim.Time {
@@ -234,7 +313,7 @@ func runFig7(which string) {
 }
 
 func runFig8() {
-	fmt.Println("Fig 8: fairness and stability as load increases (90% offered load)")
+	fmt.Printf("Fig 8: fairness and stability as load increases (90%% offered load, %s)\n", proto)
 	reps := repCount()
 	// Flatten the (B, N, rep) grid into one harness fan-out; results come
 	// back slotted by cell index, so the printed order never changes.
@@ -242,14 +321,26 @@ func runFig8() {
 		gbps float64
 		n    int
 	}
+	// All cells aggregate counters into the shared registry; the flight
+	// recorder rides on the first cell only, so the Chrome trace shows one
+	// coherent run instead of interleaved virtual clocks.
+	var regOnly *experiments.RunTelemetry
+	if runTel != nil {
+		regOnly = &experiments.RunTelemetry{Registry: runTel.Registry}
+	}
 	var points []point
 	var cfgs []experiments.Fig8Config
 	for _, gbps := range []float64{40, 100} {
 		for _, n := range []int{2, 10, 100} {
 			points = append(points, point{gbps, n})
 			for rep := 0; rep < reps; rep++ {
+				tel := regOnly
+				if len(cfgs) == 0 {
+					tel = runTel
+				}
 				cfgs = append(cfgs, experiments.Fig8Config{
 					N: n, Gbps: gbps, Duration: dur(20 * sim.Millisecond), Seed: *seedFlag + int64(rep),
+					Protocol: proto, Telemetry: tel,
 				})
 			}
 		}
@@ -279,18 +370,24 @@ func runFig8() {
 			rates = append(rates, r.FairRate)
 		}
 		nr := float64(len(runs))
-		fmt.Printf("  B=%3.0fG N=%-3d queue=%6.0f KB (ref %s)  fair=%7.2f Gb/s (ideal %.2f)  conv=%.1f ms  pfc=%d\n",
+		// RoCC's rate series is the CP fair rate (ideal B/N); baselines
+		// report aggregate bottleneck throughput (ideal B).
+		label, ideal := "fair", runs[0].ExpectedRate
+		if proto != experiments.ProtoRoCC {
+			label, ideal = "tput", pt.gbps
+		}
+		fmt.Printf("  B=%3.0fG N=%-3d queue=%6.0f KB (ref %s)  %s=%7.2f Gb/s (ideal %.2f)  conv=%.1f ms  pfc=%d\n",
 			pt.gbps, pt.n, queKB/nr, map[float64]string{40: "150", 100: "300"}[pt.gbps],
-			rate/nr, runs[0].ExpectedRate, conv/nr*1e3, int(pfc/nr))
+			label, rate/nr, ideal, conv/nr*1e3, int(pfc/nr))
 		emitSeries(fmt.Sprintf("fig8_B%.0f_N%d", pt.gbps, pt.n),
 			experiments.AverageSeries(queues...), experiments.AverageSeries(rates...))
 	}
 }
 
 func runFig9() {
-	fmt.Println("Fig 9: convergence under exponential load increase/decrease")
+	fmt.Printf("Fig 9: convergence under exponential load increase/decrease (%s)\n", proto)
 	phase := dur(10 * sim.Millisecond)
-	r := experiments.RunFig9(experiments.Fig9Config{Phase: phase, Seed: *seedFlag})
+	r := experiments.RunFig9(experiments.Fig9Config{Phase: phase, Seed: *seedFlag, Protocol: proto, Telemetry: runTel})
 	for i := range r.PhaseN {
 		// Per-flow fair share, capped by the 36 Gb/s offered load.
 		ideal := 40.0 / float64(r.PhaseN[i])

@@ -92,6 +92,9 @@ type RP struct {
 	CNPsRejected int // malformed feedback discarded by validation
 	Recoveries   int
 	StaleRecoveries int // recoveries past the staleness threshold (feedback lost)
+
+	// tm mirrors the counters above into a registry (SetTelemetry).
+	tm RPTelemetry
 }
 
 // NewRP returns an uninstalled reaction point (the flow transmits at Rmax
@@ -134,7 +137,7 @@ func (rp *RP) ValidCNP(rateUnits int) bool {
 // it can touch the rate (graceful degradation under corruption).
 func (rp *RP) ProcessCNP(rateUnits int, cp CPKey) (accepted bool) {
 	if !rp.ValidCNP(rateUnits) {
-		rp.CNPsRejected++
+		rp.CountRejected()
 		return false
 	}
 	rrcvd := float64(rateUnits) * rp.cfg.DeltaFMbps // Line 2
@@ -144,6 +147,7 @@ func (rp *RP) ProcessCNP(rateUnits int, cp CPKey) (accepted bool) {
 		rp.rcur = rrcvd
 		rp.cpcur = cp
 		rp.CNPsAccepted++
+		rp.tm.CNPsAccepted.Inc()
 		rp.staleStreak = 0
 		rp.stale = false
 		return true
@@ -157,11 +161,13 @@ func (rp *RP) ProcessCNP(rateUnits int, cp CPKey) (accepted bool) {
 		rp.rcur = rrcvd // Line 5
 		rp.cpcur = cp   // Line 6
 		rp.CNPsAccepted++
+		rp.tm.CNPsAccepted.Inc()
 		rp.staleStreak = 0
 		rp.stale = false
 		return true // Line 7: Reset_Timer
 	}
 	rp.CNPsIgnored++
+	rp.tm.CNPsIgnored.Inc()
 	return false
 }
 
@@ -191,12 +197,14 @@ func (rp *RP) TimerExpired() (uninstall bool) {
 	}
 	rp.rcur *= 2 // Line 12: exponential fast recovery
 	rp.Recoveries++
+	rp.tm.Recoveries.Inc()
 	if k := rp.cfg.staleK(); k > 0 {
 		rp.staleStreak++
 		if rp.staleStreak >= k {
 			rp.cpcur = NoCP
 			rp.stale = true
 			rp.StaleRecoveries++
+			rp.tm.StaleRecoveries.Inc()
 		}
 	}
 	return false // Line 13: Reset_Timer

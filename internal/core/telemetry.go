@@ -1,0 +1,38 @@
+package core
+
+import "rocc/internal/telemetry"
+
+// RPTelemetry mirrors the RP's instrumentation counters into a metrics
+// registry, so per-flow reaction points aggregate into one set of
+// network-wide counters. The zero value is the disabled state: nil
+// telemetry counters ignore Inc, so the RP increments unconditionally.
+type RPTelemetry struct {
+	CNPsAccepted    *telemetry.Counter
+	CNPsIgnored     *telemetry.Counter
+	CNPsRejected    *telemetry.Counter
+	Recoveries      *telemetry.Counter
+	StaleRecoveries *telemetry.Counter
+}
+
+// RPTelemetryFrom resolves the standard rocc.rp.* counter set from a
+// registry. A nil registry yields the zero (disabled) RPTelemetry.
+func RPTelemetryFrom(reg *telemetry.Registry) RPTelemetry {
+	return RPTelemetry{
+		CNPsAccepted:    reg.Counter("rocc.rp.cnps_accepted"),
+		CNPsIgnored:     reg.Counter("rocc.rp.cnps_ignored"),
+		CNPsRejected:    reg.Counter("rocc.rp.cnps_rejected"),
+		Recoveries:      reg.Counter("rocc.rp.recoveries"),
+		StaleRecoveries: reg.Counter("rocc.rp.stale_recoveries"),
+	}
+}
+
+// SetTelemetry attaches registry-backed mirrors of the RP counters.
+func (rp *RP) SetTelemetry(t RPTelemetry) { rp.tm = t }
+
+// CountRejected records one malformed CNP discarded before it reached
+// ProcessCNP (callers validate transport-level fields the core never
+// sees, e.g. host-computed queue observations).
+func (rp *RP) CountRejected() {
+	rp.CNPsRejected++
+	rp.tm.CNPsRejected.Inc()
+}

@@ -17,6 +17,17 @@ type Fig8Config struct {
 	Gbps     float64
 	Duration sim.Time
 	Seed     int64
+
+	// Protocol selects the scheme under test. Empty means RoCC (the
+	// figure's subject); baselines reuse the same topology and load, with
+	// the fair-rate series replaced by bottleneck throughput (they expose
+	// no explicit fair rate).
+	Protocol Protocol
+
+	// Telemetry, when non-nil, attaches a metrics registry and flight
+	// recorder to the run (see RunTelemetry). Observation only — seeded
+	// results are byte-identical with or without it.
+	Telemetry *RunTelemetry
 }
 
 // Fig8Result holds the queue and fair-rate series plus steady-state
@@ -37,18 +48,28 @@ func RunFig8(cfg Fig8Config) Fig8Result {
 	if cfg.Duration == 0 {
 		cfg.Duration = 20 * sim.Millisecond
 	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = ProtoRoCC
+	}
 	engine := sim.New()
 	star := topology.BuildStar(engine, cfg.Seed, cfg.N, netsim.Gbps(cfg.Gbps))
-	stack := NewStack(star.Net, ProtoRoCC, 0)
+	cfg.Telemetry.attach(star.Net)
+	stack := NewStack(star.Net, cfg.Protocol, 0)
 	stack.EnablePort(star.Bottleneck)
+	stack.AttachReceiver(star.Dst)
 	offered := netsim.Gbps(cfg.Gbps * 0.9)
 	for _, src := range star.Sources {
 		stack.StartFlow(src, star.Dst, -1, offered)
 	}
 	sampler := NewSampler(engine, 0)
 	queue := sampler.Queue("queue", star.Bottleneck)
-	cp := stack.CPs[star.Bottleneck]
-	rate := sampler.Value("fair-rate", func() float64 { return cp.FairRateMbps() / 1000 })
+	var rate *stats.Series
+	if cfg.Protocol == ProtoRoCC {
+		cp := stack.CPs[star.Bottleneck]
+		rate = sampler.Value("fair-rate", func() float64 { return cp.FairRateMbps() / 1000 })
+	} else {
+		rate = sampler.PortThroughput("bottleneck", star.Bottleneck)
+	}
 	engine.RunUntil(cfg.Duration)
 
 	half := cfg.Duration.Seconds() / 2
@@ -114,6 +135,10 @@ type Fig9Config struct {
 	Phase    sim.Time // time between load changes (10 ms in the paper)
 	Seed     int64
 	Protocol Protocol // defaults to RoCC
+
+	// Telemetry optionally attaches an observability bundle (see
+	// RunTelemetry); nil keeps telemetry disabled.
+	Telemetry *RunTelemetry
 }
 
 // Fig9Result holds the queue/fair-rate series and per-phase steady rates.
@@ -156,8 +181,10 @@ func RunFig9(cfg Fig9Config) Fig9Result {
 
 	engine := sim.New()
 	star := topology.BuildStar(engine, cfg.Seed, cfg.Peak, netsim.Gbps(cfg.Gbps))
+	cfg.Telemetry.attach(star.Net)
 	stack := NewStack(star.Net, cfg.Protocol, 0)
 	stack.EnablePort(star.Bottleneck)
+	stack.AttachReceiver(star.Dst)
 	offered := netsim.Gbps(cfg.Gbps * 0.9)
 
 	flows := make([]*netsim.Flow, 0, cfg.Peak)

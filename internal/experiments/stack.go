@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"rocc/internal/dcqcn"
 	"rocc/internal/dcqcnpi"
@@ -51,10 +52,11 @@ func AllProtocols() []Protocol {
 	return append(MicroProtocols(), ProtoDCTCP)
 }
 
-// ParseProtocol resolves a protocol by name.
+// ParseProtocol resolves a protocol by name, case-insensitively, so CLI
+// spellings like "rocc" and "dcqcn+pi" work.
 func ParseProtocol(name string) (Protocol, error) {
 	for _, p := range AllProtocols() {
-		if string(p) == name {
+		if strings.EqualFold(string(p), name) {
 			return p, nil
 		}
 	}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"rocc/internal/sim"
+	"rocc/internal/telemetry"
+)
+
+// TestFig8TelemetryByteIdentical holds the subsystem's core guarantee:
+// telemetry observes, it never perturbs. Two seeded runs, one with the
+// full registry + recorder attached, must produce identical series and
+// summaries.
+func TestFig8TelemetryByteIdentical(t *testing.T) {
+	base := Fig8Config{N: 10, Gbps: 40, Duration: 5 * sim.Millisecond, Seed: 42}
+	plain := RunFig8(base)
+
+	instrumented := base
+	instrumented.Telemetry = NewRunTelemetry()
+	traced := RunFig8(instrumented)
+
+	if !reflect.DeepEqual(plain.Queue.Points, traced.Queue.Points) {
+		t.Error("queue series diverged with telemetry attached")
+	}
+	if !reflect.DeepEqual(plain.FairRate.Points, traced.FairRate.Points) {
+		t.Error("fair-rate series diverged with telemetry attached")
+	}
+	if plain.SteadyRate != traced.SteadyRate || plain.SteadyQueKB != traced.SteadyQueKB ||
+		plain.ConvergedAt != traced.ConvergedAt || plain.PFCFrames != traced.PFCFrames {
+		t.Errorf("summaries diverged: %+v vs %+v", plain, traced)
+	}
+	// And the instrumented run actually observed something.
+	snap := instrumented.Telemetry.Snapshot()
+	if len(snap.Counters) == 0 || len(snap.Gauges) == 0 {
+		t.Error("telemetry attached but captured nothing")
+	}
+	if len(instrumented.Telemetry.Events()) == 0 {
+		t.Error("flight recorder captured no events")
+	}
+}
+
+// TestFig8Baselines checks the -protocol plumbing: the same fig8 config
+// runs DCQCN and HPCC end to end and reports a sane bottleneck rate.
+func TestFig8Baselines(t *testing.T) {
+	for _, proto := range []Protocol{ProtoDCQCN, ProtoHPCC} {
+		cfg := Fig8Config{N: 4, Gbps: 40, Duration: 5 * sim.Millisecond, Seed: 1,
+			Protocol: proto, Telemetry: NewRunTelemetry()}
+		res := RunFig8(cfg)
+		if res.SteadyRate <= 0 || res.SteadyRate > cfg.Gbps*1.05 {
+			t.Errorf("%s: steady bottleneck rate = %.2f Gb/s", proto, res.SteadyRate)
+		}
+		if len(cfg.Telemetry.Events()) == 0 {
+			t.Errorf("%s: recorder captured no events", proto)
+		}
+	}
+}
+
+func TestParseProtocolCaseInsensitive(t *testing.T) {
+	for in, want := range map[string]Protocol{
+		"rocc": ProtoRoCC, "DCQCN": ProtoDCQCN, "hpcc": ProtoHPCC,
+		"Timely": ProtoTIMELY, "dcqcn+pi": ProtoDCQCNPI, "dctcp": ProtoDCTCP,
+	} {
+		got, err := ParseProtocol(in)
+		if err != nil || got != want {
+			t.Errorf("ParseProtocol(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseProtocol("swift"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+// The telemetry-overhead pair: run fig8 with the registry disabled and
+// enabled. CI runs these once per push (no regression gate; the numbers
+// land in DESIGN.md §7).
+func benchFig8(b *testing.B, tel bool) {
+	for i := 0; i < b.N; i++ {
+		cfg := Fig8Config{N: 10, Gbps: 40, Duration: 5 * sim.Millisecond, Seed: 7}
+		if tel {
+			cfg.Telemetry = NewRunTelemetry()
+		}
+		res := RunFig8(cfg)
+		if res.SteadyRate <= 0 {
+			b.Fatal("run produced no traffic")
+		}
+	}
+}
+
+func BenchmarkFig8TelemetryOff(b *testing.B) { benchFig8(b, false) }
+func BenchmarkFig8TelemetryOn(b *testing.B)  { benchFig8(b, true) }
+
+// Registry without the flight recorder: the common "counters in CI"
+// configuration, expected indistinguishable from Off.
+func BenchmarkFig8TelemetryRegistryOnly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := Fig8Config{N: 10, Gbps: 40, Duration: 5 * sim.Millisecond, Seed: 7}
+		cfg.Telemetry = &RunTelemetry{Registry: telemetry.New()}
+		res := RunFig8(cfg)
+		if res.SteadyRate <= 0 {
+			b.Fatal("run produced no traffic")
+		}
+	}
+}

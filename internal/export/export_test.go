@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"rocc/internal/stats"
+	"rocc/internal/telemetry"
 )
 
 func TestSeriesCSV(t *testing.T) {
@@ -40,6 +41,81 @@ func TestSeriesCSVMismatch(t *testing.T) {
 	}
 	if err := Series(&sb); err == nil {
 		t.Error("empty call accepted")
+	}
+}
+
+func TestSeriesRaggedCSV(t *testing.T) {
+	// a samples at t=0,1,2; b only at t=1,3. The union has four rows and
+	// each series fills only the instants it actually sampled.
+	a := &stats.Series{Name: "a"}
+	for i := 0; i < 3; i++ {
+		a.Add(float64(i), float64(10*i))
+	}
+	b := &stats.Series{Name: "b"}
+	b.Add(1, 5)
+	b.Add(3, 7)
+	var sb strings.Builder
+	if err := SeriesRagged(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	want := []string{"t,a,b", "0,0,", "1,10,5", "2,20,", "3,,7"}
+	if len(lines) != len(want) {
+		t.Fatalf("rows = %d, want %d:\n%s", len(lines), len(want), sb.String())
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("row %d = %q, want %q", i, lines[i], w)
+		}
+	}
+	if err := SeriesRagged(&sb); err == nil {
+		t.Error("empty call accepted")
+	}
+}
+
+func TestSeriesRaggedMatchesSeriesWhenAligned(t *testing.T) {
+	a := &stats.Series{Name: "x"}
+	b := &stats.Series{Name: "y"}
+	for i := 0; i < 4; i++ {
+		a.Add(float64(i), float64(i*i))
+		b.Add(float64(i), float64(-i))
+	}
+	var dense, ragged strings.Builder
+	if err := Series(&dense, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := SeriesRagged(&ragged, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if dense.String() != ragged.String() {
+		t.Errorf("aligned series diverge:\n%s\nvs\n%s", dense.String(), ragged.String())
+	}
+}
+
+func TestMetricsCSV(t *testing.T) {
+	reg := telemetry.New()
+	reg.Counter("netsim.drops").Add(3)
+	reg.GaugeFunc("sim.events_pending", func() float64 { return 42 })
+	h := reg.Histogram("netsim.queue_depth_bytes")
+	for i := 1; i <= 4; i++ {
+		h.Observe(int64(i))
+	}
+	var sb strings.Builder
+	if err := Metrics(&sb, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "kind,name,value,count,min,max,mean,p50,p95,p99\n") {
+		t.Errorf("header wrong: %q", out)
+	}
+	for _, want := range []string{
+		"counter,netsim.drops,3,",
+		"gauge,sim.events_pending,42,",
+		"histogram,netsim.queue_depth_bytes,10,4,1,4,2.5,",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
 	}
 }
 

@@ -35,6 +35,9 @@ type Host struct {
 // ID returns the host's node id.
 func (h *Host) ID() NodeID { return h.id }
 
+// Network returns the network the host belongs to.
+func (h *Host) Network() *Network { return h.net }
+
 // Ports returns the host's single NIC port, or nothing before the host
 // is connected.
 func (h *Host) Ports() []*Port {

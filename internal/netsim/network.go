@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"rocc/internal/sim"
+	"rocc/internal/telemetry"
 )
 
 // Node is a network element: a Host or a Switch.
@@ -35,6 +36,12 @@ type Network struct {
 	// RetxBytesTotal accumulates go-back-N retransmitted bytes across all
 	// flows, including completed ones (App. A.2 reporting).
 	RetxBytesTotal int64
+
+	// Telemetry attachments (see SetTelemetry). All nil when disabled;
+	// the instruments are nil-safe so hot paths never branch on these.
+	reg *telemetry.Registry
+	rec *telemetry.Recorder
+	tm  netMetrics
 }
 
 // New creates an empty network on the given engine.

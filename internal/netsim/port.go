@@ -112,6 +112,9 @@ func (p *Port) Enqueue(pkt *Packet) {
 	p.queues[c].Push(pkt)
 	p.queueBytes[c] += pkt.Size
 	p.trace("enqueue", pkt)
+	if c == ClassData {
+		p.net.recordQueueDepth(p)
+	}
 	p.kick()
 }
 
@@ -128,6 +131,7 @@ func (p *Port) SetPaused(on bool) {
 	} else {
 		p.pausedFor += now - p.pausedAt
 		p.trace("resume", &Packet{Kind: KindPause})
+		p.net.recordPauseSpan(p, p.pausedAt, now)
 		p.kick()
 	}
 }
@@ -178,8 +182,13 @@ func (p *Port) kick() {
 		p.busy = false
 		p.TxBytes += uint64(pkt.Size)
 		p.TxPackets++
+		p.net.tm.txPackets.Inc()
+		p.net.tm.txBytes.Add(uint64(pkt.Size))
 		if pkt.Kind == KindData {
 			p.TxDataBytes += uint64(pkt.Size)
+			if pkt.CE {
+				p.net.tm.ecnMarks.Inc()
+			}
 		}
 		p.deliver(pkt, p.PropDelay)
 		p.kick()
@@ -193,6 +202,7 @@ func (p *Port) kick() {
 func (p *Port) deliver(pkt *Packet, delay sim.Time) {
 	if p.linkDown {
 		p.LinkDownDrops++
+		p.net.tm.linkDownDrops.Inc()
 		return
 	}
 	dup := false

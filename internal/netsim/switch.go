@@ -124,6 +124,7 @@ func (s *Switch) Arrive(pkt *Packet, inPort int) {
 	}
 	if s.Buffer.TotalBytes > 0 && s.bufferUsed+pkt.Size > s.Buffer.TotalBytes {
 		s.Drops++
+		s.net.recordDrop(s, pkt)
 		return
 	}
 	s.bufferUsed += pkt.Size
@@ -144,6 +145,7 @@ func (s *Switch) Arrive(pkt *Packet, inPort int) {
 			(s.sharedOver || s.ingressUsage[inPort] >= s.Buffer.PFCThreshold) {
 			s.pausedIngress[inPort] = true
 			s.PauseFrames++
+			s.net.tm.pfcPause.Inc()
 			s.ports[inPort].sendPauseFrame(true)
 		}
 	}
@@ -181,6 +183,7 @@ func (s *Switch) onDataDequeue(pkt *Packet, qlen int) {
 func (s *Switch) resume(in int) {
 	s.pausedIngress[in] = false
 	s.ResumeFrames++
+	s.net.tm.pfcResume.Inc()
 	s.ports[in].sendPauseFrame(false)
 }
 

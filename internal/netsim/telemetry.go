@@ -1,0 +1,144 @@
+package netsim
+
+import (
+	"rocc/internal/sim"
+	"rocc/internal/telemetry"
+)
+
+// netMetrics holds the dataplane's resolved telemetry instruments. The
+// zero value (all nil) is the disabled state: every method on a nil
+// metric is a no-op, so the hot paths below instrument unconditionally.
+type netMetrics struct {
+	drops         *telemetry.Counter
+	pfcPause      *telemetry.Counter
+	pfcResume     *telemetry.Counter
+	txPackets     *telemetry.Counter
+	txBytes       *telemetry.Counter
+	ecnMarks      *telemetry.Counter
+	linkDownDrops *telemetry.Counter
+	queueDepth    *telemetry.Histogram // bytes, sampled at data enqueue
+	pauseSpans    *telemetry.Histogram // ns per completed PFC pause
+}
+
+// SetTelemetry attaches a metrics registry and an optional flight
+// recorder to the network. Pass nil for either to leave it disabled;
+// attaching after the simulation started is allowed (counters simply
+// begin at the attach point). Gauges over engine and topology state are
+// registered as lazy funcs, so they cost nothing until a snapshot.
+func (n *Network) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder) {
+	n.rec = rec
+	n.tm = netMetrics{
+		drops:         reg.Counter("netsim.drops"),
+		pfcPause:      reg.Counter("netsim.pfc_pause_frames"),
+		pfcResume:     reg.Counter("netsim.pfc_resume_frames"),
+		txPackets:     reg.Counter("netsim.tx_packets"),
+		txBytes:       reg.Counter("netsim.tx_bytes"),
+		ecnMarks:      reg.Counter("netsim.ecn_marks"),
+		linkDownDrops: reg.Counter("netsim.link_down_drops"),
+		queueDepth:    reg.Histogram("netsim.queue_depth_bytes"),
+		pauseSpans:    reg.Histogram("netsim.pfc_pause_ns"),
+	}
+	if reg == nil {
+		return
+	}
+	n.reg = reg
+	eng := n.Engine
+	reg.GaugeFunc("sim.events_fired", func() float64 { return float64(eng.Fired()) })
+	reg.GaugeFunc("sim.events_pending", func() float64 { return float64(eng.Pending()) })
+	reg.GaugeFunc("sim.events_max_pending", func() float64 { return float64(eng.MaxPending()) })
+	reg.GaugeFunc("netsim.active_flows", func() float64 { return float64(n.ActiveFlowCount()) })
+	reg.GaugeFunc("netsim.buffer_max_bytes", func() float64 {
+		max := 0
+		for _, s := range n.switches {
+			if s.MaxBufferUsed > max {
+				max = s.MaxBufferUsed
+			}
+		}
+		return float64(max)
+	})
+}
+
+// TelemetryRegistry returns the registry attached with SetTelemetry, or
+// nil when telemetry is disabled.
+func (n *Network) TelemetryRegistry() *telemetry.Registry { return n.reg }
+
+// TelemetryEvents drains the attached flight recorder's retained events,
+// oldest first. Nil-safe: returns nil when no recorder is attached.
+func (n *Network) TelemetryEvents() []telemetry.Event { return n.rec.Events() }
+
+// Recorder returns the attached flight recorder (nil when disabled).
+func (n *Network) Recorder() *telemetry.Recorder { return n.rec }
+
+// recordPauseSpan files one completed PFC pause interval.
+func (n *Network) recordPauseSpan(p *Port, start, end sim.Time) {
+	n.tm.pauseSpans.Observe(int64(end - start))
+	n.rec.Record(telemetry.Event{
+		At:   int64(start),
+		Dur:  int64(end - start),
+		Kind: telemetry.KindSpan,
+		Cat:  "pfc",
+		Name: "pause",
+		Node: int64(p.owner.ID()),
+		Tid:  int64(p.Index),
+	})
+}
+
+// recordQueueDepth files the data-class backlog after an enqueue, both
+// into the histogram and as a counter-track event for the Chrome trace.
+// The event is deliberately not flow-tagged: queue depth is a port
+// property, and skipping the per-flow ring keeps this per-packet hook to
+// a single ring push.
+func (n *Network) recordQueueDepth(p *Port) {
+	q := p.queueBytes[ClassData]
+	n.tm.queueDepth.Observe(int64(q))
+	n.rec.Record(telemetry.Event{
+		At:    int64(n.Engine.Now()),
+		Kind:  telemetry.KindCounter,
+		Cat:   "netsim",
+		Name:  "qdepth_bytes",
+		Node:  int64(p.owner.ID()),
+		Tid:   int64(p.Index),
+		Value: float64(q),
+	})
+}
+
+// recordDrop files a tail drop as an instant event.
+func (n *Network) recordDrop(s *Switch, pkt *Packet) {
+	n.tm.drops.Inc()
+	n.rec.Record(telemetry.Event{
+		At:    int64(n.Engine.Now()),
+		Kind:  telemetry.KindInstant,
+		Cat:   "netsim",
+		Name:  "drop",
+		Node:  int64(s.id),
+		Flow:  int64(pkt.Flow),
+		Value: float64(pkt.Size),
+	})
+}
+
+// EmitTo replays the tracer's retained ring into a telemetry recorder,
+// bridging per-port debug traces into the unified event stream (and from
+// there into the Chrome-trace exporter). Pause/resume pairs become
+// instants here — the live path in SetPaused emits proper spans.
+func (t *Tracer) EmitTo(rec *telemetry.Recorder) {
+	for _, e := range t.Events() {
+		kind := telemetry.KindCounter
+		name := "qdepth_bytes"
+		v := float64(e.QLen)
+		if e.What == "pause" || e.What == "resume" || e.What == "drop" {
+			kind = telemetry.KindInstant
+			name = e.What
+			v = float64(e.Bytes)
+		}
+		rec.Record(telemetry.Event{
+			At:    int64(e.At),
+			Kind:  kind,
+			Cat:   "netsim",
+			Name:  name,
+			Node:  int64(e.Node),
+			Tid:   int64(e.Port),
+			Flow:  int64(e.Flow),
+			Value: v,
+		})
+	}
+}

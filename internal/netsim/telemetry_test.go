@@ -1,0 +1,145 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+
+	"rocc/internal/sim"
+	"rocc/internal/telemetry"
+)
+
+func TestNetworkTelemetryCounters(t *testing.T) {
+	engine, net, a, b, _ := pair(Gbps(40))
+	reg := telemetry.New()
+	rec := telemetry.NewRecorder(4096, 128, 64)
+	net.SetTelemetry(reg, rec)
+	f := net.StartFlow(a, b, FlowConfig{Size: 200 * 1000})
+	engine.RunUntil(10 * sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("flow not complete")
+	}
+	snap := reg.Snapshot()
+	counters := map[string]float64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["netsim.tx_packets"] == 0 || counters["netsim.tx_bytes"] == 0 {
+		t.Errorf("tx counters empty: %v", counters)
+	}
+	if counters["netsim.drops"] != 0 {
+		t.Errorf("unexpected drops on an unlimited buffer: %v", counters["netsim.drops"])
+	}
+	var qdepth *telemetry.HistogramSnapshot
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "netsim.queue_depth_bytes" {
+			qdepth = &snap.Histograms[i].HistogramSnapshot
+		}
+	}
+	if qdepth == nil || qdepth.Count == 0 {
+		t.Fatal("queue depth histogram not populated")
+	}
+	// Engine gauges are lazy funcs over live state.
+	gauges := map[string]float64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["sim.events_fired"] != float64(engine.Fired()) {
+		t.Errorf("events_fired gauge = %v, engine says %d", gauges["sim.events_fired"], engine.Fired())
+	}
+	if gauges["sim.events_max_pending"] < 1 {
+		t.Error("max pending gauge not tracked")
+	}
+	// The recorder saw per-port queue-depth counter events.
+	evs := net.TelemetryEvents()
+	if len(evs) == 0 {
+		t.Fatal("recorder captured no events")
+	}
+	var sb strings.Builder
+	if err := telemetry.WriteChromeTrace(&sb, evs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "qdepth_bytes") {
+		t.Error("chrome trace missing queue depth track")
+	}
+}
+
+func TestTelemetryDropsAndPFC(t *testing.T) {
+	engine := sim.New()
+	net := New(engine, 1)
+	reg := telemetry.New()
+	net.SetTelemetry(reg, telemetry.NewRecorder(1024, 0, 0))
+	// Tiny shared buffer with PFC on: the 40G->10G dumbbell overloads the
+	// egress, forcing pauses; a second run with PFC off forces drops.
+	sw := net.AddSwitch("s", BufferConfig{TotalBytes: 30 * 1000, PFCEnabled: true, PFCThreshold: 10 * 1000})
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	net.Connect(a, sw, Gbps(40), 1000*sim.Nanosecond)
+	net.Connect(sw, b, Gbps(10), 1000*sim.Nanosecond)
+	net.ComputeRoutes()
+	f := net.StartFlow(a, b, FlowConfig{Size: -1})
+	engine.RunUntil(2 * sim.Millisecond)
+	f.Stop()
+	snap := reg.Snapshot()
+	vals := map[string]float64{}
+	for _, c := range snap.Counters {
+		vals[c.Name] = c.Value
+	}
+	if vals["netsim.pfc_pause_frames"] == 0 {
+		t.Error("no pause frames counted under overload")
+	}
+	if int(vals["netsim.pfc_pause_frames"]) != net.TotalPFCFrames() {
+		t.Errorf("telemetry pause frames %v != switch counters %d",
+			vals["netsim.pfc_pause_frames"], net.TotalPFCFrames())
+	}
+	// Completed pause spans landed in the histogram and the recorder.
+	for _, h := range snap.Histograms {
+		if h.Name == "netsim.pfc_pause_ns" && h.Count == 0 && vals["netsim.pfc_resume_frames"] > 0 {
+			t.Error("resumes counted but no pause spans recorded")
+		}
+	}
+	_ = sw
+}
+
+func TestTelemetryDropCounterMatchesSwitch(t *testing.T) {
+	engine := sim.New()
+	net := New(engine, 1)
+	reg := telemetry.New()
+	net.SetTelemetry(reg, nil)
+	sw := net.AddSwitch("s", BufferConfig{TotalBytes: 5 * 1000}) // no PFC: tail drop
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	net.Connect(a, sw, Gbps(40), 1000*sim.Nanosecond)
+	net.Connect(sw, b, Gbps(10), 1000*sim.Nanosecond)
+	net.ComputeRoutes()
+	f := net.StartFlow(a, b, FlowConfig{Size: -1})
+	engine.RunUntil(2 * sim.Millisecond)
+	f.Stop()
+	if sw.Drops == 0 {
+		t.Fatal("test topology did not produce drops")
+	}
+	if got := reg.Counter("netsim.drops").Value(); got != uint64(sw.Drops) {
+		t.Errorf("telemetry drops = %d, switch says %d", got, sw.Drops)
+	}
+}
+
+func TestTracerEmitTo(t *testing.T) {
+	engine, net, a, b, sw := pair(Gbps(40))
+	tr := NewTracer(64)
+	sw.Port(1).Tracer = tr
+	f := net.StartFlow(a, b, FlowConfig{Size: 20 * 1000})
+	engine.RunUntil(5 * sim.Millisecond)
+	if !f.Done() || tr.Total() == 0 {
+		t.Fatal("tracer recorded nothing")
+	}
+	rec := telemetry.NewRecorder(256, 0, 0)
+	tr.EmitTo(rec)
+	evs := rec.Events()
+	if uint64(len(evs)) != uint64(len(tr.Events())) {
+		t.Fatalf("emitted %d events, tracer retained %d", len(evs), len(tr.Events()))
+	}
+	for _, e := range evs {
+		if e.Cat != "netsim" || e.Name == "" {
+			t.Fatalf("malformed bridged event: %+v", e)
+		}
+	}
+}

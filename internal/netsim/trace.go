@@ -72,6 +72,11 @@ func (t *Tracer) Events() []TraceEvent {
 }
 
 // Dump writes the retained events to w, oldest first.
+//
+// Deprecated: prefer EmitTo with a telemetry.Recorder and the
+// Chrome-trace exporter (telemetry.WriteChromeTrace), which produce a
+// loadable timeline instead of a text log. Dump remains for quick
+// ad-hoc inspection.
 func (t *Tracer) Dump(w io.Writer) {
 	for _, e := range t.Events() {
 		fmt.Fprintln(w, e)

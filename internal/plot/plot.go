@@ -25,18 +25,25 @@ func Line(title string, width, height int, series ...*stats.Series) string {
 
 	// Bounds across all series.
 	minT, maxT := math.Inf(1), math.Inf(-1)
-	minV, maxV := 0.0, math.Inf(-1)
+	minV, maxV := math.Inf(1), math.Inf(-1)
 	points := 0
 	for _, s := range series {
 		for _, p := range s.Points {
 			points++
 			minT = math.Min(minT, p.T)
 			maxT = math.Max(maxT, p.T)
+			minV = math.Min(minV, p.V)
 			maxV = math.Max(maxV, p.V)
 		}
 	}
 	if points == 0 {
 		return title + "\n(no data)\n"
+	}
+	// Keep the y-axis anchored at zero for non-negative data (rates,
+	// queue depths read better against a zero baseline), but follow the
+	// data down when a series actually goes negative.
+	if minV > 0 {
+		minV = 0
 	}
 	if maxV <= minV {
 		maxV = minV + 1

@@ -54,6 +54,33 @@ func TestLineClampsTinyDimensions(t *testing.T) {
 	}
 }
 
+func TestLineNegativeSeries(t *testing.T) {
+	// The y-axis must follow the data below zero: with values in
+	// [-10, 10] the bottom label is the true minimum, and the -10 point
+	// lands on the bottom row rather than being clamped onto the top.
+	out := Line("signed", 40, 8, mkSeries("a", -10, 0, 10))
+	if !strings.Contains(out, "-10") {
+		t.Errorf("min axis label missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	top, bottom := lines[1], lines[8]
+	if !strings.Contains(bottom, "*") {
+		t.Errorf("minimum not drawn on bottom row:\n%s", out)
+	}
+	if strings.Count(top, "*") != 1 {
+		t.Errorf("top row should hold only the maximum:\n%s", out)
+	}
+}
+
+func TestLineNonNegativeAnchorsAtZero(t *testing.T) {
+	// Positive-only data keeps the zero baseline (queue depths and rates
+	// read against zero, not against their own minimum).
+	out := Line("q", 40, 8, mkSeries("a", 5, 10))
+	if !strings.Contains(out, "      0 ") {
+		t.Errorf("zero baseline lost:\n%s", out)
+	}
+}
+
 func TestLineConstantSeries(t *testing.T) {
 	// A flat series must not divide by zero.
 	out := Line("flat", 20, 5, mkSeries("a", 5, 5, 5))

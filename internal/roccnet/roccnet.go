@@ -6,10 +6,13 @@
 package roccnet
 
 import (
+	"fmt"
+
 	"rocc/internal/core"
 	"rocc/internal/flowtable"
 	"rocc/internal/netsim"
 	"rocc/internal/sim"
+	"rocc/internal/telemetry"
 )
 
 // CPOptions configures one congestion point (an egress port).
@@ -55,6 +58,11 @@ type CP struct {
 
 	// CNPsSent counts feedback messages generated.
 	CNPsSent uint64
+
+	// Telemetry (nil-safe; resolved from the network at Attach).
+	rec      *telemetry.Recorder
+	tmCNPs   *telemetry.Counter
+	tmFair   *telemetry.Histogram
 }
 
 // Attach installs a RoCC congestion point on the given egress port of sw
@@ -81,6 +89,15 @@ func Attach(net *netsim.Network, sw *netsim.Switch, port *netsim.Port, opts CPOp
 		opts:  opts,
 	}
 	port.CC = cp
+	reg := net.TelemetryRegistry()
+	cp.rec = net.Recorder()
+	cp.tmCNPs = reg.Counter("rocc.cp.cnps_sent")
+	cp.tmFair = reg.Histogram("rocc.cp.fair_rate_mbps")
+	if reg != nil {
+		// Per-CP fair-rate gauge, evaluated lazily at snapshot time.
+		name := fmt.Sprintf("rocc.cp.n%dp%d.fair_rate_mbps", sw.ID(), port.Index)
+		reg.GaugeFunc(name, cp.FairRateMbps)
+	}
 	cp.tick = net.Engine.NewTicker(opts.T, cp.update)
 	return cp
 }
@@ -120,6 +137,16 @@ func (cp *CP) update() {
 		cp.hostQold = qcur / cp.opts.Core.DeltaQBytes
 	} else {
 		rateUnits = cp.core.Update(qcur)
+		cp.tmFair.Observe(int64(cp.core.FairRateMbps()))
+		cp.rec.Record(telemetry.Event{
+			At:    int64(now),
+			Kind:  telemetry.KindCounter,
+			Cat:   "rocc",
+			Name:  "fair_rate_mbps",
+			Node:  int64(cp.sw.ID()),
+			Tid:   int64(cp.port.Index),
+			Value: cp.core.FairRateMbps(),
+		})
 	}
 	if !cp.opts.HostComputed && qcur < cp.opts.MinSignalBytes {
 		// No congestion to signal (§3.4). In host-computed mode CNPs
@@ -156,5 +183,6 @@ func (cp *CP) update() {
 		}
 		cp.sw.Inject(cnp)
 		cp.CNPsSent++
+		cp.tmCNPs.Inc()
 	}
 }

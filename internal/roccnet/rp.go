@@ -4,6 +4,7 @@ import (
 	"rocc/internal/core"
 	"rocc/internal/netsim"
 	"rocc/internal/sim"
+	"rocc/internal/telemetry"
 )
 
 // RPOptions configures the per-flow reaction point.
@@ -73,6 +74,10 @@ type FlowCC struct {
 	lastCNPs map[core.CPKey]sim.Time
 	pacer    netsim.Pacer
 	timer    *sim.Event
+
+	// Telemetry (nil-safe; resolved from the host's network at build).
+	rec  *telemetry.Recorder
+	flow int64 // learned from the first packet seen, for event labelling
 }
 
 // NewFlowCC builds a reaction point for a flow originating at host.
@@ -95,6 +100,8 @@ func NewFlowCC(engine *sim.Engine, host *netsim.Host, opts RPOptions) *FlowCC {
 	if opts.HostRegistry != nil {
 		cc.hostCP = core.NewHostCP(opts.HostRegistry)
 	}
+	cc.rp.SetTelemetry(core.RPTelemetryFrom(host.Network().TelemetryRegistry()))
+	cc.rec = host.Network().Recorder()
 	return cc
 }
 
@@ -135,7 +142,7 @@ func (cc *FlowCC) OnCNP(now sim.Time, pkt *netsim.Packet) {
 		// most a few MB (thousands of ΔQ units); 1<<24 units is ~10 GB.
 		if info.QCurUnits < 0 || info.QOldUnits < 0 ||
 			info.QCurUnits > maxQueueUnits || info.QOldUnits > maxQueueUnits {
-			cc.rp.CNPsRejected++
+			cc.rp.CountRejected()
 			return
 		}
 		if cc.hostCP == nil {
@@ -159,9 +166,26 @@ func (cc *FlowCC) OnCNP(now sim.Time, pkt *netsim.Packet) {
 		cc.lastCNPs[cpKey] = now
 		rateUnits = cc.hostCP.Compute(cpKey, info.QCurUnits, info.QOldUnits)
 	}
+	cc.flow = int64(pkt.Flow)
 	if cc.rp.ProcessCNP(rateUnits, cpKey) {
+		cc.recordRate(now)
 		cc.resetTimer()
 	}
+}
+
+// recordRate files the RP's current rate as a per-flow counter track, so
+// the Chrome trace shows each flow's rate trajectory next to the CP's
+// fair-rate signal and the queue depth.
+func (cc *FlowCC) recordRate(now sim.Time) {
+	cc.rec.Record(telemetry.Event{
+		At:    int64(now),
+		Kind:  telemetry.KindCounter,
+		Cat:   "rocc",
+		Name:  "rp_rate_mbps",
+		Node:  int64(cc.host.ID()),
+		Flow:  cc.flow,
+		Value: cc.rp.RateMbps(),
+	})
 }
 
 // CurrentRate implements netsim.FlowCC.
@@ -196,6 +220,7 @@ func (cc *FlowCC) onTimer() {
 		// the next CNP. No timer needed.
 		cc.pacer.Reset()
 	} else {
+		cc.recordRate(cc.engine.Now())
 		cc.resetTimer()
 	}
 	cc.host.Kick()

@@ -61,11 +61,12 @@ func (h *eventHeap) Pop() any {
 // Engine is a discrete-event simulator. The zero value is not usable;
 // construct with New.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	stopped bool
-	fired   uint64
+	now        Time
+	events     eventHeap
+	seq        uint64
+	stopped    bool
+	fired      uint64
+	maxPending int
 }
 
 // New returns an engine with the clock at zero and no pending events.
@@ -80,6 +81,10 @@ func (e *Engine) Pending() int { return len(e.events) }
 // Fired returns the total number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// MaxPending returns the high-water mark of the event queue, a proxy for
+// how bursty the model's scheduling is.
+func (e *Engine) MaxPending() int { return e.maxPending }
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a model bug.
 func (e *Engine) At(t Time, fn func()) *Event {
@@ -89,6 +94,9 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	e.seq++
 	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
 	heap.Push(&e.events, ev)
+	if len(e.events) > e.maxPending {
+		e.maxPending = len(e.events)
+	}
 	return ev
 }
 

@@ -1,0 +1,111 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rocc/internal/stats"
+)
+
+func TestBucketIndexRoundTrip(t *testing.T) {
+	for _, v := range []uint64{0, 1, 31, 32, 33, 63, 64, 100, 1 << 20, 1<<40 + 12345, 1 << 62} {
+		i := bucketIndex(v)
+		low := bucketLow(i)
+		var high uint64
+		if i+1 < numBuckets {
+			high = bucketLow(i+1) - 1
+		} else {
+			high = ^uint64(0)
+		}
+		if v < low || v > high {
+			t.Errorf("value %d filed in bucket %d covering [%d,%d]", v, i, low, high)
+		}
+	}
+	// Buckets are contiguous and monotone.
+	for i := 1; i < numBuckets; i++ {
+		if bucketLow(i) <= bucketLow(i-1) {
+			t.Fatalf("bucketLow not monotone at %d", i)
+		}
+	}
+}
+
+func TestHistogramExactBelowSubBuckets(t *testing.T) {
+	h := newHistogram()
+	for v := int64(0); v < subBuckets; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != subBuckets || s.Min != 0 || s.Max != subBuckets-1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	// Small values are recorded exactly, so the nearest-rank median is
+	// exact: the 16th smallest of 0..31 is 15.
+	if s.P50 != subBuckets/2-1 {
+		t.Errorf("p50 = %d, want %d", s.P50, subBuckets/2-1)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	h := newHistogram()
+	h.Observe(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Min != 0 || s.Max != 0 {
+		t.Errorf("negative observation mishandled: %+v", s)
+	}
+}
+
+// TestHistogramPercentilesAgainstStats cross-checks bucketed percentiles
+// with the exact interpolated percentiles of internal/stats on known
+// distributions. The histogram's relative quantization error is bounded
+// by 2^-subBits plus the bucket-midpoint rounding, so 2/subBuckets is a
+// safe tolerance.
+func TestHistogramPercentilesAgainstStats(t *testing.T) {
+	distributions := map[string]func(r *rand.Rand) int64{
+		"uniform":     func(r *rand.Rand) int64 { return r.Int63n(1_000_000) },
+		"exponential": func(r *rand.Rand) int64 { return int64(r.ExpFloat64() * 50_000) },
+		"lognormal":   func(r *rand.Rand) int64 { return int64(math.Exp(r.NormFloat64()*1.5 + 8)) },
+	}
+	for name, draw := range distributions {
+		r := rand.New(rand.NewSource(42))
+		h := newHistogram()
+		xs := make([]float64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := draw(r)
+			h.Observe(v)
+			xs = append(xs, float64(v))
+		}
+		s := h.Snapshot()
+		for _, q := range []struct {
+			p    float64
+			got  uint64
+			name string
+		}{
+			{50, s.P50, "p50"}, {95, s.P95, "p95"}, {99, s.P99, "p99"},
+		} {
+			want := stats.Percentile(xs, q.p)
+			if want == 0 {
+				continue
+			}
+			rel := math.Abs(float64(q.got)-want) / want
+			if rel > 2.0/subBuckets {
+				t.Errorf("%s %s = %d, stats says %.0f (rel err %.3f)", name, q.name, q.got, want, rel)
+			}
+		}
+		if s.Max != uint64(stats.Percentile(xs, 100)) {
+			t.Errorf("%s max = %d, want %.0f", name, s.Max, stats.Percentile(xs, 100))
+		}
+		wantMean := stats.Mean(xs)
+		if math.Abs(s.Mean-wantMean)/wantMean > 1e-9 {
+			t.Errorf("%s mean = %v, want %v (sum is exact, not bucketed)", name, s.Mean, wantMean)
+		}
+	}
+}
+
+func TestHistogramEmptySnapshot(t *testing.T) {
+	h := newHistogram()
+	s := h.Snapshot()
+	if s.Count != 0 || s.Min != 0 || s.Max != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+}

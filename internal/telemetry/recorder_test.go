@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRecorderGlobalRingEvicts(t *testing.T) {
+	r := NewRecorder(4, 0, 0)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{At: int64(i), Name: "e"})
+	}
+	if r.Total() != 10 {
+		t.Errorf("total = %d, want 10", r.Total())
+	}
+	ev := r.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if e.At != int64(6+i) {
+			t.Errorf("event %d at %d, want %d (oldest first)", i, e.At, 6+i)
+		}
+	}
+}
+
+func TestRecorderPerFlowRings(t *testing.T) {
+	r := NewRecorder(2, 3, 2)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{At: int64(i), Flow: 1})
+	}
+	r.Record(Event{At: 100, Flow: 2})
+	// Third distinct flow exceeds maxFlows: global ring still sees it,
+	// per-flow history does not.
+	r.Record(Event{At: 200, Flow: 3})
+	if got := r.FlowEvents(1); len(got) != 3 || got[0].At != 2 || got[2].At != 4 {
+		t.Errorf("flow 1 events = %+v", got)
+	}
+	if got := r.FlowEvents(2); len(got) != 1 {
+		t.Errorf("flow 2 events = %+v", got)
+	}
+	if got := r.FlowEvents(3); got != nil {
+		t.Errorf("flow 3 beyond maxFlows should have no per-flow ring, got %+v", got)
+	}
+	if flows := r.Flows(); len(flows) != 2 || flows[0] != 1 || flows[1] != 2 {
+		t.Errorf("flows = %v", flows)
+	}
+	if r.Total() != 7 {
+		t.Errorf("total = %d", r.Total())
+	}
+}
+
+func TestChromeTraceShape(t *testing.T) {
+	events := []Event{
+		{At: 1000, Kind: KindCounter, Cat: "netsim", Name: "qdepth_bytes", Node: 2, Tid: 1, Value: 1500},
+		{At: 2000, Dur: 500, Kind: KindSpan, Cat: "pfc", Name: "pause", Node: 2, Tid: 0},
+		{At: 3000, Kind: KindInstant, Cat: "netsim", Name: "drop", Node: 2, Tid: 1, Value: 1},
+	}
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, events); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("trace not valid JSON: %v", err)
+	}
+	// 3 events + 1 process_name metadata record for node 2.
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("trace has %d events, want 4", len(out.TraceEvents))
+	}
+	byPh := map[string]map[string]any{}
+	for _, e := range out.TraceEvents {
+		byPh[e["ph"].(string)] = e
+	}
+	c, ok := byPh["C"]
+	if !ok {
+		t.Fatal("no counter event")
+	}
+	if c["ts"].(float64) != 1.0 { // 1000 ns = 1 µs
+		t.Errorf("counter ts = %v µs, want 1", c["ts"])
+	}
+	if c["args"].(map[string]any)["qdepth_bytes"].(float64) != 1500 {
+		t.Error("counter args missing value")
+	}
+	x, ok := byPh["X"]
+	if !ok {
+		t.Fatal("no span event")
+	}
+	if x["dur"].(float64) != 0.5 {
+		t.Errorf("span dur = %v µs, want 0.5", x["dur"])
+	}
+	if _, ok := byPh["i"]; !ok {
+		t.Error("no instant event")
+	}
+	m, ok := byPh["M"]
+	if !ok {
+		t.Fatal("no process metadata")
+	}
+	if m["args"].(map[string]any)["name"].(string) != "node 2" {
+		t.Error("process metadata not named")
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"traceEvents":[]`) {
+		t.Errorf("empty trace should still carry an (empty) traceEvents array: %s", sb.String())
+	}
+}

@@ -1,0 +1,265 @@
+// Package telemetry is the unified observability layer: a metrics
+// registry whose hot-path operations are single atomic instructions and
+// allocate nothing, a bounded per-flow flight recorder for dataplane
+// events, and exporters (text/CSV snapshots, Chrome trace-event JSON,
+// net/http/pprof).
+//
+// Everything is nil-safe: a nil *Registry hands out nil metrics, and
+// every metric method on a nil receiver is a no-op. Subsystems therefore
+// instrument unconditionally — a disabled registry costs one predicted
+// branch per operation (see BenchmarkCounterDisabled), and enabling
+// telemetry never changes simulation behaviour, only observes it.
+//
+// Naming scheme: dotted lowercase `<subsystem>.<quantity>[_<unit>]`,
+// e.g. "netsim.drops", "netsim.queue_depth_bytes", "rocc.rp.recoveries",
+// "testbed.switch.fair_rate_mbps". Units are suffixed (_bytes, _ns,
+// _mbps) so snapshots read unambiguously.
+//
+// The package depends only on the standard library, so any layer of the
+// stack (internal/sim upward) may import it without cycles.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64. The zero value is ready
+// to use; a nil Counter ignores all writes.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 for a nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float64. The zero value reads 0; a nil
+// Gauge ignores all writes.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the last stored value (0 for a nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Registry is a named collection of metrics. Lookups are get-or-create:
+// registering the same name twice returns the same metric, so per-flow
+// components share aggregate counters without coordination. Registration
+// takes a lock and may allocate; the returned metrics never do.
+//
+// A nil *Registry is the disabled mode: it hands out nil metrics whose
+// operations are no-ops.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	funcs    map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		funcs:    make(map[string]func() float64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge evaluated lazily at snapshot time — zero
+// hot-path cost for values a subsystem already tracks (engine event
+// counts, atomic testbed counters). fn must be safe to call from the
+// snapshotting goroutine. Re-registering a name replaces the function
+// (the most recently attached subsystem wins).
+func (r *Registry) GaugeFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it if needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram()
+		r.hists[name] = h
+	}
+	return h
+}
+
+// NamedValue is one counter or gauge in a snapshot.
+type NamedValue struct {
+	Name  string
+	Value float64
+}
+
+// NamedHist is one histogram in a snapshot.
+type NamedHist struct {
+	Name string
+	HistogramSnapshot
+}
+
+// Snapshot is a race-safe point-in-time copy of every metric, sorted by
+// name within each kind. Writers may run concurrently; each individual
+// value is read atomically (the snapshot as a whole is not a consistent
+// cut, which per-metric monitoring never needs).
+type Snapshot struct {
+	Counters   []NamedValue
+	Gauges     []NamedValue
+	Histograms []NamedHist
+}
+
+// Snapshot captures all metrics. A nil registry yields a zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	funcs := make(map[string]func() float64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var s Snapshot
+	for name, c := range counters {
+		s.Counters = append(s.Counters, NamedValue{name, float64(c.Value())})
+	}
+	for name, g := range gauges {
+		s.Gauges = append(s.Gauges, NamedValue{name, g.Value()})
+	}
+	for name, fn := range funcs {
+		s.Gauges = append(s.Gauges, NamedValue{name, fn()})
+	}
+	for name, h := range hists {
+		s.Histograms = append(s.Histograms, NamedHist{name, h.Snapshot()})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteText renders the snapshot as aligned human-readable text.
+func (s Snapshot) WriteText(w io.Writer) error {
+	width := 0
+	for _, c := range s.Counters {
+		if len(c.Name) > width {
+			width = len(c.Name)
+		}
+	}
+	for _, g := range s.Gauges {
+		if len(g.Name) > width {
+			width = len(g.Name)
+		}
+	}
+	for _, h := range s.Histograms {
+		if len(h.Name) > width {
+			width = len(h.Name)
+		}
+	}
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "%-*s %20.0f\n", width, c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "%-*s %20.6g\n", width, g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		_, err := fmt.Fprintf(w, "%-*s count=%d min=%d max=%d mean=%.4g p50=%d p95=%d p99=%d\n",
+			width, h.Name, h.Count, h.Min, h.Max, h.Mean, h.P50, h.P95, h.P99)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package testbed
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"rocc/internal/telemetry"
+)
+
+// TestSwitchTelemetrySnapshot runs a short real-socket exchange with a
+// registry attached and checks the gauges agree with the atomics they
+// wrap. Snapshots race with the socket loops by design — run under
+// -race, this is the "race-safe runtime snapshots" contract.
+func TestSwitchTelemetrySnapshot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Metrics = telemetry.New()
+	cfg.PprofAddr = "127.0.0.1:0"
+	sw, err := NewSwitch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	c, err := NewClient(cfg, 7, sw, 200e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.After(3 * time.Second)
+	for sw.Forwarded.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("switch never forwarded a datagram")
+		case <-time.After(10 * time.Millisecond):
+			_ = cfg.Metrics.Snapshot() // hammer snapshots while loops run
+		}
+	}
+	snap := cfg.Metrics.Snapshot()
+	gauges := map[string]float64{}
+	for _, g := range snap.Gauges {
+		gauges[g.Name] = g.Value
+	}
+	if gauges["testbed.switch.forwarded"] < 1 {
+		t.Errorf("forwarded gauge = %v", gauges["testbed.switch.forwarded"])
+	}
+	if _, ok := gauges["testbed.client.7.sent_bytes"]; !ok {
+		t.Error("client gauge not registered")
+	}
+	if gauges["testbed.client.7.sent_bytes"] < 1 {
+		t.Errorf("client sent_bytes gauge = %v", gauges["testbed.client.7.sent_bytes"])
+	}
+	// The debug server exposes the same snapshot over HTTP.
+	addr := sw.DebugAddr()
+	if addr == "" {
+		t.Fatal("debug server not started")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "testbed.switch.forwarded") {
+		t.Errorf("/metrics missing switch gauges:\n%s", body)
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"rocc/internal/core"
 	"rocc/internal/ringq"
+	"rocc/internal/telemetry"
 )
 
 // Message types on the wire.
@@ -114,6 +115,16 @@ type Config struct {
 	// FaultSeed seeds the CNP-drop randomness; runs with the same seed
 	// drop the same sequence of decisions. Zero selects seed 1.
 	FaultSeed int64
+
+	// Metrics, when non-nil, receives the testbed's gauges and counters.
+	// All values are read from the existing atomics via lazy gauge funcs,
+	// so attaching a registry adds no work to the socket loops.
+	Metrics *telemetry.Registry
+
+	// PprofAddr, when non-empty, serves net/http/pprof and a /metrics
+	// text snapshot on this address (e.g. "127.0.0.1:0") for the
+	// switch's lifetime.
+	PprofAddr string
 }
 
 // DefaultConfig returns a laptop-friendly configuration: a 400 Mb/s
@@ -162,6 +173,7 @@ type Switch struct {
 	wg         sync.WaitGroup
 	sinkExited atomic.Bool // set when sinkLoop returns (close-ordering regression check)
 	cnpRand    *rand.Rand  // CNP-drop fault stream; nil when CNPDropProb is 0 (cpLoop only)
+	dbg        *telemetry.DebugServer
 
 	// Counters.
 	Forwarded   atomic.Int64
@@ -205,12 +217,38 @@ func NewSwitch(cfg Config) (*Switch, error) {
 		}
 		s.cnpRand = rand.New(rand.NewSource(seed))
 	}
+	if reg := cfg.Metrics; reg != nil {
+		reg.GaugeFunc("testbed.switch.forwarded", func() float64 { return float64(s.Forwarded.Load()) })
+		reg.GaugeFunc("testbed.switch.cnps_sent", func() float64 { return float64(s.CNPsSent.Load()) })
+		reg.GaugeFunc("testbed.switch.cnps_dropped", func() float64 { return float64(s.CNPsDropped.Load()) })
+		reg.GaugeFunc("testbed.switch.read_errors", func() float64 { return float64(s.ReadErrors.Load()) })
+		reg.GaugeFunc("testbed.switch.queue_bytes", func() float64 { return float64(s.qlen.Load()) })
+		reg.GaugeFunc("testbed.switch.fair_rate_mbps", s.FairRateMbps)
+	}
+	if cfg.PprofAddr != "" {
+		dbg, err := telemetry.ServeDebug(cfg.PprofAddr, cfg.Metrics)
+		if err != nil {
+			conn.Close()
+			sink.Close()
+			return nil, fmt.Errorf("testbed: debug server: %w", err)
+		}
+		s.dbg = dbg
+	}
 	s.wg.Add(4)
 	go s.receiveLoop()
 	go s.drainLoop()
 	go s.cpLoop()
 	go s.sinkLoop()
 	return s, nil
+}
+
+// DebugAddr returns the pprof/metrics listen address, or "" when
+// Config.PprofAddr was empty.
+func (s *Switch) DebugAddr() string {
+	if s.dbg == nil {
+		return ""
+	}
+	return s.dbg.Addr()
 }
 
 // Addr returns the switch's data address clients send to.
@@ -230,6 +268,9 @@ func (s *Switch) Close() {
 	s.wg.Wait()
 	s.conn.Close()
 	s.sink.Close()
+	if s.dbg != nil {
+		s.dbg.Close()
+	}
 }
 
 // receiveLoop ingests client datagrams into the egress queue.
@@ -408,6 +449,13 @@ func NewClient(cfg Config, flow uint32, sw *Switch, offeredBps float64) (*Client
 			StaleK: core.DefaultStaleK,
 		}),
 		done: make(chan struct{}),
+	}
+	// Mirror the RP's counters into the registry (aggregated across
+	// clients; the counters are atomic, so no lock ordering issues).
+	c.rp.SetTelemetry(core.RPTelemetryFrom(cfg.Metrics))
+	if reg := cfg.Metrics; reg != nil {
+		name := fmt.Sprintf("testbed.client.%d.sent_bytes", flow)
+		reg.GaugeFunc(name, func() float64 { return float64(c.SentBytes.Load()) })
 	}
 	c.wg.Add(2)
 	go c.sendLoop()
