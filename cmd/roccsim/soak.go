@@ -1,0 +1,66 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"rocc/internal/chaos"
+)
+
+var (
+	countFlag   = flag.Int("count", 0, "soak: number of scenarios (0 = until -budget, or 100)")
+	budgetFlag  = flag.Duration("budget", 0, "soak: wall-clock budget (0 = unlimited)")
+	soakOutFlag = flag.String("soak-out", "", "soak: directory for minimized repros (config JSON + Chrome trace)")
+	shrinkFlag  = flag.Bool("shrink", true, "soak: minimize failing scenarios with delta debugging")
+	faultFlag   = flag.Float64("fault-scale", 1, "soak: fault intensity (1 = default mix, 0 = clean scenarios)")
+)
+
+// runSoak drives the chaos subsystem: generate scenarios from the
+// campaign seed, run each under the invariant monitors on the worker
+// pool, and shrink + persist any failures.
+func runSoak() {
+	gen := chaos.GenOptions{FaultScale: *faultFlag}
+	if *faultFlag == 0 {
+		gen.FaultScale = -1 // explicit clean mode (0 means "default" in GenOptions)
+	}
+	fmt.Printf("soak: randomized chaos scenarios (seed %d, fault scale %g)\n", *seedFlag, *faultFlag)
+	opts := chaos.SoakOptions{
+		Seed:    *seedFlag,
+		Count:   *countFlag,
+		Budget:  *budgetFlag,
+		Workers: *workFlag,
+		Gen:     gen,
+		Shrink:  *shrinkFlag,
+		OutDir:  *soakOutFlag,
+		OnScenario: func(v chaos.Verdict) {
+			status := "ok"
+			if v.Err != "" {
+				status = "ERROR " + v.Err
+			} else if len(v.Result.Violations) > 0 {
+				status = fmt.Sprintf("VIOLATED %s at %.3f ms (%s)",
+					v.Result.Violations[0].Invariant,
+					float64(v.Result.Violations[0].AtNs)/1e6,
+					v.Result.Violations[0].Detail)
+			}
+			fmt.Printf("  #%-4d seed=%-6d %-9s %-16s flows=%-3d faults=%-2d %s\n",
+				v.Index, v.Seed, v.Protocol, v.Topology, v.Flows, v.Faults, status)
+		},
+	}
+	start := time.Now()
+	rep := chaos.Soak(opts)
+	fmt.Printf("soak: %d scenarios, %d failures (%v)\n", rep.Scenarios, rep.Failures, time.Since(start).Round(time.Millisecond))
+	for _, r := range rep.Repros {
+		o, m := r.Shrink.Original, r.Shrink.Minimized
+		fmt.Printf("  repro seed=%d invariant=%s: %d flows/%d faults -> %d flows/%d faults in %d runs",
+			r.Seed, r.Invariant, len(o.Flows), len(o.Faults), len(m.Flows), len(m.Faults), r.Shrink.Runs)
+		if r.ConfigPath != "" {
+			fmt.Printf("  (%s, %s)", r.ConfigPath, r.TracePath)
+		}
+		fmt.Println()
+	}
+	if rep.Failures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,240 @@
+package chaos
+
+import (
+	"rocc/internal/experiments"
+	"rocc/internal/sim"
+	"rocc/internal/workload"
+)
+
+// GenOptions bounds the scenario generator. The zero value selects
+// defaults sized so a single scenario simulates in well under a second.
+type GenOptions struct {
+	// Protocols to draw from. Default: every protocol the repo wires
+	// (experiments.AllProtocols) — the invariants must hold for the
+	// baselines too, not just RoCC.
+	Protocols []experiments.Protocol
+
+	// Topologies to draw from. Default: star, multibottleneck, fattree.
+	Topologies []string
+
+	// MinFlows/MaxFlows bound the per-scenario flow count (incast bursts
+	// can add a few past MaxFlows). Defaults 2 and 16.
+	MinFlows, MaxFlows int
+
+	// MaxFaults bounds the fault-schedule length; the drawn count is
+	// scaled by FaultScale. Default 6.
+	MaxFaults int
+
+	// FaultScale scales how many faults a scenario gets: 0 selects the
+	// default mix (1); any negative value generates clean scenarios —
+	// the invariant-baseline mode in which no monitor may ever trip.
+	FaultScale float64
+
+	// MinDuration/MaxDuration bound the scenario length. Defaults 4 ms
+	// and 10 ms.
+	MinDuration, MaxDuration sim.Time
+}
+
+func (o GenOptions) withDefaults() GenOptions {
+	if len(o.Protocols) == 0 {
+		o.Protocols = experiments.AllProtocols()
+	}
+	if len(o.Topologies) == 0 {
+		o.Topologies = []string{TopoStar, TopoMultiBottleneck, TopoFatTree}
+	}
+	if o.MinFlows <= 0 {
+		o.MinFlows = 2
+	}
+	if o.MaxFlows < o.MinFlows {
+		o.MaxFlows = o.MinFlows + 14
+	}
+	if o.MaxFaults <= 0 {
+		o.MaxFaults = 6
+	}
+	if o.FaultScale == 0 {
+		o.FaultScale = 1
+	}
+	if o.MinDuration <= 0 {
+		o.MinDuration = 4 * sim.Millisecond
+	}
+	if o.MaxDuration < o.MinDuration {
+		o.MaxDuration = o.MinDuration + 6*sim.Millisecond
+	}
+	return o
+}
+
+// Generate derives a complete scenario from one seed. Every draw comes
+// from a single sequential stream, so the same (seed, options) pair
+// always yields the same scenario — the replayability contract the
+// shrinker and the soak verdict log depend on.
+func Generate(seed int64, opts GenOptions) Scenario {
+	o := opts.withDefaults()
+	r := sim.NewRand(seed)
+
+	sc := Scenario{
+		Seed:     seed,
+		Protocol: string(o.Protocols[r.Intn(len(o.Protocols))]),
+	}
+	sc.Topology = genTopology(r, o.Topologies[r.Intn(len(o.Topologies))])
+	dur := o.MinDuration + sim.Time(r.Float64()*float64(o.MaxDuration-o.MinDuration))
+	sc.DurationNs = int64(dur)
+
+	sc.Flows = genFlows(r, sc.Topology, dur, o)
+	if o.FaultScale > 0 {
+		sc.Faults = genFaults(r, sc.Topology, dur, o)
+	}
+	return sc
+}
+
+func genTopology(r *sim.Rand, kind string) TopologySpec {
+	switch kind {
+	case TopoStar:
+		rates := []float64{10, 40, 100}
+		return TopologySpec{
+			Kind: TopoStar,
+			N:    4 + r.Intn(12),
+			Gbps: rates[r.Intn(len(rates))],
+		}
+	case TopoMultiBottleneck:
+		return TopologySpec{Kind: TopoMultiBottleneck}
+	case TopoFatTree:
+		return TopologySpec{
+			Kind:         TopoFatTree,
+			Cores:        2,
+			Edges:        2 + r.Intn(2),
+			HostsPerEdge: 3 + r.Intn(3),
+			Gbps:         40,
+		}
+	}
+	panic("chaos: unknown topology kind " + kind)
+}
+
+// pickPair draws a (src, dst) host pair obeying the topology's roles:
+// star traffic converges on the hub destination, multibottleneck sends
+// A0..A4+B5 toward B0..B4 (Fig. 10's flow direction), fat-tree traffic
+// is any-to-any.
+func pickPair(r *sim.Rand, t TopologySpec) (int, int) {
+	switch t.Kind {
+	case TopoStar:
+		return r.Intn(t.N), t.N
+	case TopoMultiBottleneck:
+		return r.Intn(6), 6 + r.Intn(5)
+	default:
+		hosts := t.hostCount()
+		src := r.Intn(hosts)
+		dst := r.Intn(hosts - 1)
+		if dst >= src {
+			dst++
+		}
+		return src, dst
+	}
+}
+
+func genFlows(r *sim.Rand, t TopologySpec, dur sim.Time, o GenOptions) []FlowSpec {
+	cdf := workload.WebSearch()
+	if r.Intn(2) == 1 {
+		cdf = workload.FBHadoop()
+	}
+	linkMbps := 40000.0
+	if t.Gbps > 0 {
+		linkMbps = t.Gbps * 1000
+	}
+	n := o.MinFlows + r.Intn(o.MaxFlows-o.MinFlows+1)
+	var flows []FlowSpec
+	for i := 0; i < n; i++ {
+		src, dst := pickPair(r, t)
+		f := FlowSpec{Src: src, Dst: dst}
+		if r.Float64() < 0.4 {
+			// Persistent, rate-capped: the fairness-convergence subject.
+			f.SizeBytes = -1
+			f.MaxRateMbps = linkMbps * (0.5 + 0.5*r.Float64())
+			f.StartNs = int64(r.Float64() * 0.2 * float64(dur))
+		} else {
+			f.SizeBytes = int64(cdf.Sample(r))
+			f.Reliable = r.Intn(4) == 0
+			f.StartNs = int64(r.Float64() * 0.5 * float64(dur))
+		}
+		flows = append(flows, f)
+	}
+	if r.Float64() < 0.5 {
+		// Incast burst: k sources hit one destination at the same
+		// instant. Total burst volume is capped around 1 MB so the
+		// resulting PFC pause wave drains well inside the run.
+		_, dst := pickPair(r, t)
+		k := 2 + r.Intn(6)
+		size := int64(20*1000 + r.Intn(int(1000*1000/int64(k))))
+		start := int64(r.Float64() * 0.5 * float64(dur))
+		for i := 0; i < k; i++ {
+			src := r.Intn(t.hostCount())
+			for src == dst {
+				src = r.Intn(t.hostCount())
+			}
+			if t.Kind == TopoStar && src == t.N {
+				src = r.Intn(t.N)
+			}
+			flows = append(flows, FlowSpec{Src: src, Dst: dst, SizeBytes: size, StartNs: start})
+		}
+	}
+	return flows
+}
+
+func genFaults(r *sim.Rand, t TopologySpec, dur sim.Time, o GenOptions) []FaultSpec {
+	n := int(float64(r.Intn(o.MaxFaults+1)) * o.FaultScale)
+	if n > o.MaxFaults {
+		n = o.MaxFaults
+	}
+	links, switches := t.linkCount(), t.switchCount()
+	usedLink := make(map[int]bool)
+	var fs []FaultSpec
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0:
+			li := r.Intn(links)
+			if usedLink[li] {
+				continue
+			}
+			usedLink[li] = true
+			f := FaultSpec{Kind: FaultLink, Link: li}
+			if r.Intn(2) == 0 {
+				// Data-plane gremlins: mild loss and reordering. Heavy
+				// data loss just measures the retransmit path, not the
+				// control loop.
+				f.Scope = ScopeData
+				f.Drop = 0.05 * r.Float64()
+				f.Reorder = 0.1 * r.Float64()
+			} else {
+				// Control-plane gremlins: CNPs are best-effort, so
+				// push much harder on them.
+				f.Scope = ScopeCNP
+				f.Drop = 0.3 * r.Float64()
+				f.Corrupt = 0.2 * r.Float64()
+				f.Duplicate = 0.1 * r.Float64()
+				f.Reorder = 0.2 * r.Float64()
+			}
+			fs = append(fs, f)
+		case 1:
+			period := sim.Millisecond + sim.Time(r.Float64()*float64(2*sim.Millisecond))
+			fs = append(fs, FaultSpec{
+				Kind:     FaultFlap,
+				Link:     r.Intn(links),
+				PeriodNs: int64(period),
+				ActiveNs: int64(float64(period) * (0.1 + 0.15*r.Float64())),
+			})
+		case 2:
+			fs = append(fs, FaultSpec{
+				Kind:   FaultCNPLoss,
+				Switch: r.Intn(switches),
+				Prob:   0.05 + 0.35*r.Float64(),
+			})
+		case 3:
+			period := sim.Millisecond + sim.Time(r.Float64()*float64(2*sim.Millisecond))
+			fs = append(fs, FaultSpec{
+				Kind:     FaultCPStall,
+				Switch:   r.Intn(switches),
+				PeriodNs: int64(period),
+				ActiveNs: int64(float64(period) * (0.2 + 0.25*r.Float64())),
+			})
+		}
+	}
+	return fs
+}

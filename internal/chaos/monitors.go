@@ -1,0 +1,328 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+
+	"rocc/internal/core"
+	"rocc/internal/experiments"
+	"rocc/internal/faults"
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+// Invariant names. Each one encodes a property the paper claims or the
+// simulator's construction guarantees; DESIGN.md §8 maps them to the
+// paper's subsections.
+const (
+	InvTimeMonotonic    = "time_monotonic"
+	InvBufferAccounting = "buffer_accounting"
+	InvQueueBound       = "queue_bound"
+	InvPFCDeadlock      = "pfc_deadlock"
+	InvPauseStorm       = "pause_storm"
+	InvRPRateBounds     = "rp_rate_bounds"
+	InvFlowConservation = "flow_conservation"
+	InvLosslessDrops    = "lossless_drops"
+	InvStuckQueue       = "stuck_queue"
+	InvFairness         = "fairness"
+)
+
+// Violation records one invariant trip.
+type Violation struct {
+	Invariant string `json:"invariant"`
+	AtNs      int64  `json:"at_ns"`
+	Detail    string `json:"detail"`
+}
+
+// Runtime is the live state the monitors inspect: the scenario, the
+// built network, and the flows/reaction points as they come up. Custom
+// monitors (tests, future invariants) get the same view the built-ins
+// use.
+type Runtime struct {
+	Scenario Scenario
+	Engine   *sim.Engine
+	Net      *netsim.Network
+	Stack    *experiments.Stack
+	Injector *faults.Injector // nil when the scenario has no faults
+
+	// Flows holds the started flow for each Scenario.Flows index (nil
+	// until its start event fires).
+	Flows []*netsim.Flow
+
+	// RoCCRPs collects the reaction points of started RoCC flows.
+	RoCCRPs []*core.RP
+
+	fab        *fabric
+	midBytes   []int64 // per-flow DeliveredBytes at the fairness window start
+	lastNow    sim.Time
+	hasDupData bool // a data-scope duplicate fault is configured
+}
+
+// CustomMonitor is a caller-supplied invariant. Sample runs on every
+// monitor tick, Final once after the drain; either may be nil. Returning
+// violated=true files a Violation under Name.
+type CustomMonitor struct {
+	Name   string
+	Sample func(rt *Runtime) (detail string, violated bool)
+	Final  func(rt *Runtime) (detail string, violated bool)
+}
+
+// checker is one built-in invariant probe.
+type checker func(rt *Runtime, o RunOptions) (string, bool)
+
+func checkTimeMonotonic(rt *Runtime, _ RunOptions) (string, bool) {
+	now := rt.Engine.Now()
+	if now < rt.lastNow {
+		return fmt.Sprintf("engine time went backwards: %v after %v", now, rt.lastNow), true
+	}
+	rt.lastNow = now
+	return "", false
+}
+
+// checkBufferAccounting is the packet-conservation check inside a
+// switch: shared-buffer occupancy must equal the data bytes actually
+// sitting in egress queues. Any drift means bytes were created or
+// destroyed outside the drop path.
+func checkBufferAccounting(rt *Runtime, _ RunOptions) (string, bool) {
+	for _, sw := range rt.Net.Switches() {
+		sum := 0
+		for _, p := range sw.Ports() {
+			sum += p.DataQueueBytes()
+		}
+		if sw.BufferUsed() != sum || sw.BufferUsed() < 0 {
+			return fmt.Sprintf("switch %s: bufferUsed=%d but queued data=%d",
+				sw.Name, sw.BufferUsed(), sum), true
+		}
+	}
+	return "", false
+}
+
+// checkQueueBound holds PFC to its promise: with pause generation on,
+// occupancy stays near the shared Xoff trigger plus the in-flight skid
+// of each ingress (packets already on the wire when Xoff lands).
+func checkQueueBound(rt *Runtime, o RunOptions) (string, bool) {
+	for _, sw := range rt.Net.Switches() {
+		if !sw.Buffer.PFCEnabled {
+			continue
+		}
+		shared := sw.Buffer.SharedFactor
+		if shared <= 0 {
+			shared = 2
+		}
+		bound := shared*sw.Buffer.PFCThreshold + len(sw.Ports())*o.QueueSlackBytes
+		if sw.BufferUsed() > bound {
+			return fmt.Sprintf("switch %s: buffer %d bytes past PFC bound %d",
+				sw.Name, sw.BufferUsed(), bound), true
+		}
+	}
+	return "", false
+}
+
+// checkPFCDeadlock looks for a pause-wait cycle: switch S waits on T
+// when S's port toward T is paused (T told S to stop). A cycle means no
+// switch in it can ever drain — the canonical PFC deadlock.
+func checkPFCDeadlock(rt *Runtime, _ RunOptions) (string, bool) {
+	if cycle := pauseWaitCycle(rt.Net.Switches()); cycle != "" {
+		return "pause-wait cycle: " + cycle, true
+	}
+	return "", false
+}
+
+// pauseWaitCycle detects a directed cycle in the switch pause-wait
+// graph, returning a printable cycle or "".
+func pauseWaitCycle(switches []*netsim.Switch) string {
+	adj := make(map[*netsim.Switch][]*netsim.Switch)
+	for _, s := range switches {
+		for _, p := range s.Ports() {
+			if !p.Paused() {
+				continue
+			}
+			if t, ok := p.PeerNode.(*netsim.Switch); ok {
+				adj[s] = append(adj[s], t)
+			}
+		}
+	}
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[*netsim.Switch]int)
+	var stack []*netsim.Switch
+	var dfs func(s *netsim.Switch) string
+	dfs = func(s *netsim.Switch) string {
+		color[s] = grey
+		stack = append(stack, s)
+		for _, t := range adj[s] {
+			if color[t] == grey {
+				cycle := ""
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = stack[i].Name + "->" + cycle
+					if stack[i] == t {
+						break
+					}
+				}
+				return cycle + t.Name
+			}
+			if color[t] == white {
+				if c := dfs(t); c != "" {
+					return c
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[s] = black
+		return ""
+	}
+	for _, s := range switches {
+		if color[s] == white {
+			if c := dfs(s); c != "" {
+				return c
+			}
+		}
+	}
+	return ""
+}
+
+// checkPauseStorm is the max-pause-span watchdog: one pause interval
+// (completed or still running) exceeding the budget means an upstream
+// queue has been wedged far longer than any healthy drain takes.
+func checkPauseStorm(rt *Runtime, o RunOptions) (string, bool) {
+	if span := rt.Net.LongestPauseSpan(); span > o.MaxPauseSpan {
+		return fmt.Sprintf("pause span %v exceeds budget %v", span, o.MaxPauseSpan), true
+	}
+	return "", false
+}
+
+// checkRPRate pins Alg. 2's state machine: an installed reaction point's
+// rate is positive, finite, and below the ValidCNP admission ceiling. A
+// rate outside that band means corrupt feedback steered the limiter.
+func checkRPRate(rt *Runtime, _ RunOptions) (string, bool) {
+	for i, rp := range rt.RoCCRPs {
+		r := rp.RateMbps()
+		if math.IsNaN(r) || math.IsInf(r, 0) || r <= 0 {
+			return fmt.Sprintf("RP %d rate %v escaped (0, Rbound]", i, r), true
+		}
+		if bound := rp.RateBoundMbps(); bound > 0 && r > bound {
+			return fmt.Sprintf("RP %d rate %.1f Mbps above validation bound %.1f", i, r, bound), true
+		}
+	}
+	return "", false
+}
+
+// checkFlowConservation: a receiver can never have contiguously
+// delivered more payload than the sender emitted. Skipped when a
+// data-scope duplicate fault is configured (duplicates legitimately
+// inflate unreliable delivery).
+func checkFlowConservation(rt *Runtime, _ RunOptions) (string, bool) {
+	if rt.hasDupData {
+		return "", false
+	}
+	for i, f := range rt.Flows {
+		if f == nil {
+			continue
+		}
+		if f.DeliveredBytes() > f.SentBytes() {
+			return fmt.Sprintf("flow %d delivered %d > sent %d", i, f.DeliveredBytes(), f.SentBytes()), true
+		}
+	}
+	return "", false
+}
+
+// checkLosslessDrops: a fabric with PFC on every switch must not tail
+// drop — pause is supposed to fire first. The planted misconfiguration
+// (PFC threshold above the buffer size) is caught exactly here.
+func checkLosslessDrops(rt *Runtime, _ RunOptions) (string, bool) {
+	for _, sw := range rt.Net.Switches() {
+		if !sw.Buffer.PFCEnabled {
+			return "", false
+		}
+	}
+	if d := rt.Net.TotalDrops(); d > 0 {
+		return fmt.Sprintf("%d tail drops in a PFC-lossless fabric", d), true
+	}
+	return "", false
+}
+
+// checkStuckQueue runs after the drain grace: every fault schedule has
+// quiesced and every flow is stopped, so data still queued (or a pause
+// still asserted against queued data) can never clear — the residue
+// form of both deadlock and conservation failure.
+func checkStuckQueue(rt *Runtime, _ RunOptions) (string, bool) {
+	for _, sw := range rt.Net.Switches() {
+		if sw.BufferUsed() != 0 {
+			return fmt.Sprintf("switch %s holds %d bytes after drain", sw.Name, sw.BufferUsed()), true
+		}
+		for _, p := range sw.Ports() {
+			if p.DataQueueBytes() > 0 {
+				return fmt.Sprintf("switch %s port %d queues %d bytes after drain",
+					sw.Name, p.Index, p.DataQueueBytes()), true
+			}
+		}
+	}
+	return "", false
+}
+
+// checkFairness is the eventual-convergence invariant (§6.1 / Fig. 11),
+// applied only where it is well-posed: a clean star run whose persistent
+// flows all share the one bottleneck. Jain's index over second-half
+// throughput must clear a deliberately loose floor — the monitor is for
+// catastrophic starvation, not protocol ranking.
+func checkFairness(rt *Runtime, o RunOptions) (string, bool) {
+	if len(rt.Scenario.Faults) > 0 || rt.Scenario.Topology.Kind != TopoStar {
+		return "", false
+	}
+	var xs []float64
+	for i, fs := range rt.Scenario.Flows {
+		if fs.SizeBytes != -1 || rt.Flows[i] == nil || rt.midBytes == nil {
+			continue
+		}
+		// Only flows live for the whole measurement window count.
+		if fs.StartNs > rt.Scenario.DurationNs/2 {
+			continue
+		}
+		xs = append(xs, float64(rt.Flows[i].DeliveredBytes()-rt.midBytes[i]))
+	}
+	if len(xs) < 2 {
+		return "", false
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return fmt.Sprintf("%d persistent flows delivered nothing in the second half", len(xs)), true
+	}
+	jain := sum * sum / (float64(len(xs)) * sumSq)
+	if jain < o.MinJain {
+		return fmt.Sprintf("Jain index %.3f below floor %.3f over %d flows", jain, o.MinJain, len(xs)), true
+	}
+	return "", false
+}
+
+// sampleCheckers run on every monitor tick; finalCheckers once after the
+// drain grace.
+var sampleCheckers = []struct {
+	name string
+	fn   checker
+}{
+	{InvTimeMonotonic, checkTimeMonotonic},
+	{InvBufferAccounting, checkBufferAccounting},
+	{InvQueueBound, checkQueueBound},
+	{InvPFCDeadlock, checkPFCDeadlock},
+	{InvPauseStorm, checkPauseStorm},
+	{InvRPRateBounds, checkRPRate},
+	{InvFlowConservation, checkFlowConservation},
+	{InvLosslessDrops, checkLosslessDrops},
+}
+
+var finalCheckers = []struct {
+	name string
+	fn   checker
+}{
+	{InvStuckQueue, checkStuckQueue},
+	{InvLosslessDrops, checkLosslessDrops},
+	{InvFlowConservation, checkFlowConservation},
+	{InvFairness, checkFairness},
+}

@@ -1,0 +1,213 @@
+package chaos
+
+import "sort"
+
+// ShrinkResult is the outcome of minimizing a failing scenario.
+type ShrinkResult struct {
+	Original   Scenario `json:"original"`
+	Minimized  Scenario `json:"minimized"`
+	Invariant  string   `json:"invariant"`
+	Runs       int      `json:"runs"`       // reproduction attempts executed
+	Reproduced bool     `json:"reproduced"` // the violation reproduced on the untouched scenario
+}
+
+// Shrink delta-debugs a failing scenario down to a minimal reproduction
+// of one invariant violation: it removes fault events and flows
+// (ddmin), halves the duration, and compacts unused star sources, as
+// long as the named invariant still trips on replay. maxRuns bounds the
+// total reproduction attempts (<= 0 selects 400). The returned
+// Minimized scenario is self-contained: running it with the same
+// options reproduces the violation from its seed alone.
+func Shrink(sc Scenario, invariant string, opts RunOptions, maxRuns int) ShrinkResult {
+	if maxRuns <= 0 {
+		maxRuns = 400
+	}
+	// Shrink replays want the cheapest run that still answers "does the
+	// invariant trip": stop at the first violation, record nothing.
+	opts.StopOnFirst = true
+	opts.Telemetry = nil
+
+	budget := maxRuns
+	trips := func(s Scenario) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		res, err := Run(s, opts)
+		return err == nil && res.Violated(invariant)
+	}
+
+	out := ShrinkResult{Original: sc, Minimized: sc, Invariant: invariant}
+	if !trips(sc) {
+		out.Runs = maxRuns - budget
+		return out
+	}
+	out.Reproduced = true
+
+	cur := sc
+	for {
+		before := shrinkSize(cur)
+
+		cur.Faults = ddmin(cur.Faults, func(fs []FaultSpec) bool {
+			c := cur
+			c.Faults = fs
+			return trips(c)
+		})
+		cur.Flows = ddmin(cur.Flows, func(fl []FlowSpec) bool {
+			c := cur
+			c.Flows = fl
+			return trips(c)
+		})
+		cur = shrinkDuration(cur, trips)
+		cur = compactStar(cur, trips)
+
+		if shrinkSize(cur) >= before || budget <= 0 {
+			break
+		}
+	}
+	out.Minimized = cur
+	out.Runs = maxRuns - budget
+	return out
+}
+
+// shrinkSize is the cost function minimization drives down.
+func shrinkSize(sc Scenario) int {
+	return len(sc.Flows)*100 + len(sc.Faults)*100 + sc.Topology.hostCount() + int(sc.DurationNs/1e6)
+}
+
+// ddmin is the classic delta-debugging minimizer: it tries dropping
+// complements of ever-finer chunks, keeping any reduction for which the
+// failure (test == true) persists. test([]) short-circuits everything.
+func ddmin[T any](items []T, test func([]T) bool) []T {
+	if len(items) == 0 {
+		return items
+	}
+	if test(nil) {
+		return nil
+	}
+	n := 2
+	for len(items) >= 2 {
+		chunk := (len(items) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(items); lo += chunk {
+			hi := lo + chunk
+			if hi > len(items) {
+				hi = len(items)
+			}
+			complement := make([]T, 0, len(items)-(hi-lo))
+			complement = append(complement, items[:lo]...)
+			complement = append(complement, items[hi:]...)
+			if test(complement) {
+				items = complement
+				n--
+				if n < 2 {
+					n = 2
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(items) {
+				break
+			}
+			n *= 2
+			if n > len(items) {
+				n = len(items)
+			}
+		}
+	}
+	return items
+}
+
+// shrinkDuration halves the scenario length while the violation
+// reproduces. Halving stops once any flow's start time or the floor of
+// 1 ms would be crossed.
+func shrinkDuration(sc Scenario, trips func(Scenario) bool) Scenario {
+	for sc.DurationNs/2 >= 1e6 {
+		half := sc.DurationNs / 2
+		ok := true
+		for _, f := range sc.Flows {
+			if f.StartNs >= half {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		c := sc
+		c.DurationNs = half
+		if !trips(c) {
+			break
+		}
+		sc = c
+	}
+	return sc
+}
+
+// compactStar removes star sources nothing references, remapping flow
+// host indices and fault link indices onto the smaller topology (source
+// i's access link is link i; the destination link, index N, follows).
+func compactStar(sc Scenario, trips func(Scenario) bool) Scenario {
+	if sc.Topology.Kind != TopoStar {
+		return sc
+	}
+	n := sc.Topology.N
+	used := make(map[int]bool)
+	for _, f := range sc.Flows {
+		if f.Src < n {
+			used[f.Src] = true
+		}
+		if f.Dst < n {
+			used[f.Dst] = true
+		}
+	}
+	for _, f := range sc.Faults {
+		if (f.Kind == FaultLink || f.Kind == FaultFlap) && f.Link < n {
+			used[f.Link] = true
+		}
+	}
+	if len(used) == 0 || len(used) >= n {
+		return sc
+	}
+	var keep []int
+	for i := range used {
+		keep = append(keep, i)
+	}
+	sort.Ints(keep)
+	remap := make(map[int]int, len(keep))
+	for newIdx, oldIdx := range keep {
+		remap[oldIdx] = newIdx
+	}
+	c := sc
+	c.Topology.N = len(keep)
+	c.Flows = append([]FlowSpec(nil), sc.Flows...)
+	for i := range c.Flows {
+		if c.Flows[i].Src == n {
+			c.Flows[i].Src = len(keep)
+		} else {
+			c.Flows[i].Src = remap[c.Flows[i].Src]
+		}
+		if c.Flows[i].Dst == n {
+			c.Flows[i].Dst = len(keep)
+		} else {
+			c.Flows[i].Dst = remap[c.Flows[i].Dst]
+		}
+	}
+	c.Faults = append([]FaultSpec(nil), sc.Faults...)
+	for i := range c.Faults {
+		if c.Faults[i].Kind != FaultLink && c.Faults[i].Kind != FaultFlap {
+			continue
+		}
+		if c.Faults[i].Link == n {
+			c.Faults[i].Link = len(keep)
+		} else {
+			c.Faults[i].Link = remap[c.Faults[i].Link]
+		}
+	}
+	if trips(c) {
+		return c
+	}
+	return sc
+}

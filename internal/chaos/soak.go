@@ -1,0 +1,228 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rocc/internal/experiments"
+	"rocc/internal/harness"
+	"rocc/internal/telemetry"
+)
+
+// SoakOptions configures a soak campaign.
+type SoakOptions struct {
+	// Seed is the campaign base seed; scenario i uses Seed + i, so any
+	// verdict is replayable from the campaign seed and its index alone.
+	Seed int64
+
+	// Count is the number of scenarios to run. When Budget is also set,
+	// the campaign ends at whichever limit is hit first; Count <= 0 with
+	// a Budget means "until the budget expires".
+	Count int
+
+	// Budget is an optional wall-clock cap. Scenarios are launched in
+	// batches and no new batch starts after the budget expires. It only
+	// gates scheduling — verdicts never depend on it.
+	Budget time.Duration
+
+	// Workers bounds the harness pool (<= 0: GOMAXPROCS).
+	Workers int
+
+	// Gen and Run tune scenario generation and the monitors.
+	Gen GenOptions
+	Run RunOptions
+
+	// Shrink minimizes failing scenarios after the sweep; MaxShrinkRuns
+	// bounds each minimization (default 400 replays).
+	Shrink        bool
+	MaxShrinkRuns int
+
+	// MaxRepros caps how many failures are shrunk and written out.
+	// Default 5.
+	MaxRepros int
+
+	// OutDir, when non-empty, receives one repro per shrunk failure:
+	// seed-<S>.json (the minimized scenario) and seed-<S>.trace.json
+	// (a Chrome trace of its replay).
+	OutDir string
+
+	// OnScenario, if set, is called as each verdict lands (completion
+	// order; serialized by the harness).
+	OnScenario func(v Verdict)
+}
+
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Count <= 0 && o.Budget <= 0 {
+		o.Count = 100
+	}
+	if o.MaxShrinkRuns <= 0 {
+		o.MaxShrinkRuns = 400
+	}
+	if o.MaxRepros <= 0 {
+		o.MaxRepros = 5
+	}
+	return o
+}
+
+// Verdict is one scenario's outcome in the campaign log. It holds only
+// simulation-derived values — no wall-clock — so a soak with the same
+// seed and limits produces an identical verdict sequence regardless of
+// worker count or machine speed.
+type Verdict struct {
+	Index    int    `json:"index"`
+	Seed     int64  `json:"seed"`
+	Protocol string `json:"protocol"`
+	Topology string `json:"topology"`
+	Flows    int    `json:"flows"`
+	Faults   int    `json:"faults"`
+	Result   Result `json:"result"`
+	Err      string `json:"err,omitempty"`
+}
+
+// Failed reports whether the scenario tripped any invariant or errored.
+func (v Verdict) Failed() bool {
+	return v.Err != "" || len(v.Result.Violations) > 0
+}
+
+// Repro is one minimized failing case written to disk.
+type Repro struct {
+	Seed       int64  `json:"seed"`
+	Invariant  string `json:"invariant"`
+	ConfigPath string `json:"config_path,omitempty"`
+	TracePath  string `json:"trace_path,omitempty"`
+	Shrink     ShrinkResult
+}
+
+// Report is a whole campaign's outcome.
+type Report struct {
+	Seed      int64
+	Scenarios int
+	Failures  int
+	Verdicts  []Verdict
+	Repros    []Repro
+}
+
+// Soak runs a randomized scenario campaign: generate scenario i from
+// seed base+i, run it under the monitor suite on the harness worker
+// pool, and — for up to MaxRepros failures — shrink the scenario and
+// emit its minimized repro. Verdicts come back in scenario order.
+func Soak(opts SoakOptions) Report {
+	o := opts.withDefaults()
+	rep := Report{Seed: o.Seed}
+	deadline := time.Time{}
+	if o.Budget > 0 {
+		deadline = time.Now().Add(o.Budget)
+	}
+
+	// Launch in batches so a budget-limited campaign stops between
+	// batches without a stray goroutine outliving the call.
+	const batch = 64
+	for {
+		remaining := batch
+		if o.Count > 0 {
+			if left := o.Count - rep.Scenarios; left < remaining {
+				remaining = left
+			}
+		}
+		if remaining <= 0 {
+			break
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		base := rep.Scenarios
+		results := harness.Run(remaining, harness.Options{Workers: o.Workers}, func(cell int) (Verdict, error) {
+			idx := base + cell
+			sc := Generate(o.Seed+int64(idx), o.Gen)
+			v := Verdict{
+				Index:    idx,
+				Seed:     sc.Seed,
+				Protocol: sc.Protocol,
+				Topology: sc.Topology.Kind,
+				Flows:    len(sc.Flows),
+				Faults:   len(sc.Faults),
+			}
+			res, err := Run(sc, o.Run)
+			if err != nil {
+				v.Err = err.Error()
+			}
+			v.Result = res
+			return v, nil
+		})
+		for _, r := range results {
+			v := r.Value
+			if r.Err != nil { // cell panic
+				v.Index = base + r.Index
+				v.Seed = o.Seed + int64(v.Index)
+				v.Err = r.Err.Error()
+			}
+			if v.Failed() {
+				rep.Failures++
+			}
+			rep.Verdicts = append(rep.Verdicts, v)
+			if o.OnScenario != nil {
+				o.OnScenario(v)
+			}
+		}
+		rep.Scenarios += remaining
+	}
+
+	if o.Shrink {
+		for _, v := range rep.Verdicts {
+			if len(rep.Repros) >= o.MaxRepros {
+				break
+			}
+			if len(v.Result.Violations) == 0 {
+				continue
+			}
+			inv := v.Result.Violations[0].Invariant
+			sc := Generate(v.Seed, o.Gen)
+			sr := Shrink(sc, inv, o.Run, o.MaxShrinkRuns)
+			r := Repro{Seed: v.Seed, Invariant: inv, Shrink: sr}
+			if o.OutDir != "" {
+				if err := writeRepro(&r, o.OutDir, o.Run); err != nil {
+					// Repro emission is best-effort; the in-memory
+					// ShrinkResult still carries the minimized scenario.
+					fmt.Fprintf(os.Stderr, "chaos: writing repro for seed %d: %v\n", v.Seed, err)
+				}
+			}
+			rep.Repros = append(rep.Repros, r)
+		}
+	}
+	return rep
+}
+
+// writeRepro persists a minimized scenario as config JSON plus a Chrome
+// trace of its replay's failing window.
+func writeRepro(r *Repro, dir string, runOpts RunOptions) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	cfg := filepath.Join(dir, fmt.Sprintf("seed-%d.json", r.Seed))
+	if err := r.Shrink.Minimized.Save(cfg); err != nil {
+		return err
+	}
+	r.ConfigPath = cfg
+
+	// Replay with the flight recorder on; StopOnFirst keeps the ring
+	// buffer's tail at the violation instant.
+	tel := experiments.NewRunTelemetry()
+	runOpts.Telemetry = tel
+	runOpts.StopOnFirst = true
+	if _, err := Run(r.Shrink.Minimized, runOpts); err != nil {
+		return err
+	}
+	trace := filepath.Join(dir, fmt.Sprintf("seed-%d.trace.json", r.Seed))
+	f, err := os.Create(trace)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := telemetry.WriteChromeTrace(f, tel.Events()); err != nil {
+		return err
+	}
+	r.TracePath = trace
+	return nil
+}

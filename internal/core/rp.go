@@ -87,10 +87,10 @@ type RP struct {
 	stale       bool    // feedback declared stale; next valid CNP re-homes the flow
 
 	// Counters for instrumentation and tests.
-	CNPsAccepted int
-	CNPsIgnored  int
-	CNPsRejected int // malformed feedback discarded by validation
-	Recoveries   int
+	CNPsAccepted    int
+	CNPsIgnored     int
+	CNPsRejected    int // malformed feedback discarded by validation
+	Recoveries      int
 	StaleRecoveries int // recoveries past the staleness threshold (feedback lost)
 
 	// tm mirrors the counters above into a registry (SetTelemetry).
@@ -114,6 +114,23 @@ func (rp *RP) RateMbps() float64 { return rp.rcur }
 
 // CurrentCP returns the congestion point of the last accepted CNP.
 func (rp *RP) CurrentCP() CPKey { return rp.cpcur }
+
+// RmaxMbps returns the configured NIC line rate — the uninstalled send
+// rate and the fast-recovery ceiling.
+func (rp *RP) RmaxMbps() float64 { return rp.cfg.RmaxMbps }
+
+// RateBoundMbps returns the hard ceiling the RP's state machine can ever
+// hold rcur at: the ValidCNP admission bound (MaxRateUnits × ΔF, default
+// 16×Rmax for cross-speed CPs), or 0 when the bound is disabled. Any
+// observed rate above this means validation was bypassed — the invariant
+// the chaos monitors check.
+func (rp *RP) RateBoundMbps() float64 {
+	max := rp.cfg.maxRateUnits()
+	if max <= 0 {
+		return 0
+	}
+	return float64(max) * rp.cfg.DeltaFMbps
+}
 
 // ValidCNP reports whether a CNP's rate units are plausible feedback:
 // non-negative, finite once scaled by ΔF, and within the configured

@@ -211,6 +211,21 @@ func (s *Stack) StartFlow(src, dst *netsim.Host, size int64, maxRate netsim.Rate
 	})
 }
 
+// StartCustomFlow launches a flow with the stack's controller, ACK
+// policy and header overhead, plus a caller-chosen rate cap and
+// reliability mode — the generalized entry point chaos scenarios use to
+// mix capped persistent flows with reliable finite transfers.
+func (s *Stack) StartCustomFlow(src, dst *netsim.Host, size int64, maxRate netsim.Rate, reliable bool) *netsim.Flow {
+	return s.Net.StartFlow(src, dst, netsim.FlowConfig{
+		Size:        size,
+		MaxRate:     maxRate,
+		CC:          s.FlowCC(src),
+		Reliable:    reliable,
+		AckEvery:    s.AckEvery(),
+		ExtraHeader: s.extraHeader(),
+	})
+}
+
 // StartReliableFlow launches a go-back-N flow (App. A.2's lossy runs).
 func (s *Stack) StartReliableFlow(src, dst *netsim.Host, size int64) *netsim.Flow {
 	return s.Net.StartFlow(src, dst, netsim.FlowConfig{

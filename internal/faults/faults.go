@@ -25,6 +25,9 @@
 package faults
 
 import (
+	"errors"
+	"fmt"
+
 	"rocc/internal/netsim"
 	"rocc/internal/sim"
 )
@@ -50,13 +53,60 @@ func (c LinkConfig) active() bool {
 	return c.Drop > 0 || c.Corrupt > 0 || c.Duplicate > 0 || c.Reorder > 0
 }
 
-func (c LinkConfig) validate() {
+// Validate reports whether the configuration is usable: probabilities
+// must be non-negative and sum to at most 1 (they share a single uniform
+// draw). Generators composing random fault schedules (internal/chaos)
+// call this to reject a bad config with an error instead of crashing a
+// worker pool; direct misuse of the injector still panics via validate.
+func (c LinkConfig) Validate() error {
 	if c.Drop < 0 || c.Corrupt < 0 || c.Duplicate < 0 || c.Reorder < 0 {
-		panic("faults: negative probability")
+		return errors.New("faults: negative probability")
 	}
 	if c.Drop+c.Corrupt+c.Duplicate+c.Reorder > 1 {
-		panic("faults: probabilities sum past 1")
+		return fmt.Errorf("faults: probabilities sum to %v, past 1",
+			c.Drop+c.Corrupt+c.Duplicate+c.Reorder)
 	}
+	if c.ReorderDelay < 0 {
+		return errors.New("faults: negative reorder delay")
+	}
+	return nil
+}
+
+func (c LinkConfig) validate() {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+}
+
+// ValidateFlap reports whether a flap schedule is usable: both durations
+// positive and the down time strictly inside the period.
+func ValidateFlap(period, downFor sim.Time) error {
+	if period <= 0 || downFor <= 0 {
+		return errors.New("faults: flap period and down time must be positive")
+	}
+	if downFor >= period {
+		return errors.New("faults: flap down time must be shorter than its period")
+	}
+	return nil
+}
+
+// ValidateStall reports whether a CP stall schedule is usable.
+func ValidateStall(period, stallFor sim.Time) error {
+	if period <= 0 || stallFor <= 0 {
+		return errors.New("faults: stall period and window must be positive")
+	}
+	if stallFor >= period {
+		return errors.New("faults: stall window must be shorter than its period")
+	}
+	return nil
+}
+
+// ValidateProb reports whether p is a probability.
+func ValidateProb(p float64) error {
+	if p < 0 || p > 1 {
+		return fmt.Errorf("faults: probability %v out of [0,1]", p)
+	}
+	return nil
 }
 
 // MatchCNPs restricts link faults to congestion notifications.
@@ -67,13 +117,13 @@ func MatchData(pkt *netsim.Packet) bool { return pkt.Kind == netsim.KindData }
 
 // Stats aggregates fault counters across every attachment of an Injector.
 type Stats struct {
-	Dropped    uint64 // link-level drops (all kinds)
-	CNPsLost   uint64 // CNPs lost to link drops and CP gate drops
-	Corrupted  uint64 // packets mangled (CNPs) or CRC-discarded (others)
-	Duplicated uint64
-	Reordered  uint64
-	Flaps      uint64 // completed link-down events
-	CNPsStalled uint64 // CNPs suppressed inside CP stall windows
+	Dropped      uint64 // link-level drops (all kinds)
+	CNPsLost     uint64 // CNPs lost to link drops and CP gate drops
+	Corrupted    uint64 // packets mangled (CNPs) or CRC-discarded (others)
+	Duplicated   uint64
+	Reordered    uint64
+	Flaps        uint64 // completed link-down events
+	CNPsStalled  uint64 // CNPs suppressed inside CP stall windows
 	StallWindows uint64
 }
 
@@ -166,7 +216,7 @@ func (h *linkHook) corrupt(pkt *netsim.Packet) *netsim.Packet {
 	c := pkt.Clone()
 	garbage := func() int {
 		if h.rand.Intn(2) == 0 {
-			return -1 - h.rand.Intn(1 << 20) // negative rate
+			return -1 - h.rand.Intn(1<<20) // negative rate
 		}
 		return 1<<30 + h.rand.Intn(1<<20) // absurdly large rate
 	}
@@ -193,6 +243,32 @@ func (in *Injector) Flap(a, b *netsim.Port, period, downFor sim.Time) {
 	engine := in.net.Engine
 	var down func()
 	down = func() {
+		a.SetLinkDown(true)
+		b.SetLinkDown(true)
+		engine.After(downFor, func() {
+			a.SetLinkDown(false)
+			b.SetLinkDown(false)
+			in.stats.Flaps++
+			engine.After(period-downFor, down)
+		})
+	}
+	engine.After(period, down)
+}
+
+// FlapWindow is Flap bounded in virtual time: outages whose down window
+// would extend past until are not started, and the link is guaranteed
+// back up by until. Chaos scenarios use it so every fault schedule
+// quiesces before the drain phase the end-of-run invariants check.
+func (in *Injector) FlapWindow(a, b *netsim.Port, period, downFor, until sim.Time) {
+	if err := ValidateFlap(period, downFor); err != nil {
+		panic(err)
+	}
+	engine := in.net.Engine
+	var down func()
+	down = func() {
+		if engine.Now()+downFor > until {
+			return
+		}
 		a.SetLinkDown(true)
 		b.SetLinkDown(true)
 		engine.After(downFor, func() {
@@ -269,6 +345,30 @@ func (in *Injector) StallCP(sw *netsim.Switch, period, stallFor sim.Time) {
 	engine := in.net.Engine
 	var stall func()
 	stall = func() {
+		g.stalled = true
+		in.stats.StallWindows++
+		engine.After(stallFor, func() {
+			g.stalled = false
+			engine.After(period-stallFor, stall)
+		})
+	}
+	engine.After(period, stall)
+}
+
+// StallCPWindow is StallCP bounded in virtual time: stall windows that
+// would extend past until are not opened, so the CP is guaranteed live
+// again by until.
+func (in *Injector) StallCPWindow(sw *netsim.Switch, period, stallFor, until sim.Time) {
+	if err := ValidateStall(period, stallFor); err != nil {
+		panic(err)
+	}
+	g := in.gate(sw)
+	engine := in.net.Engine
+	var stall func()
+	stall = func() {
+		if engine.Now()+stallFor > until {
+			return
+		}
 		g.stalled = true
 		in.stats.StallWindows++
 		engine.After(stallFor, func() {

@@ -37,6 +37,18 @@ type Network struct {
 	// flows, including completed ones (App. A.2 reporting).
 	RetxBytesTotal int64
 
+	// PauseStormSpan is the completed-pause duration at or above which a
+	// pause interval counts as a pause storm (netsim.pfc.pause_storm).
+	// Healthy PFC pauses in the paper's fabrics last microseconds; a
+	// millisecond-scale pause means an upstream queue is wedged.
+	PauseStormSpan sim.Time
+
+	// longestPause is the longest completed PFC pause interval seen so
+	// far; LongestPauseSpan extends it with in-progress pauses so a true
+	// deadlock (a pause that never completes) is still visible.
+	longestPause sim.Time
+	pauseStorms  uint64
+
 	// Telemetry attachments (see SetTelemetry). All nil when disabled;
 	// the instruments are nil-safe so hot paths never branch on these.
 	reg *telemetry.Registry
@@ -51,6 +63,7 @@ func New(engine *sim.Engine, seed int64) *Network {
 		Rand:           sim.NewRand(seed),
 		flows:          make(map[FlowID]*Flow),
 		DefaultRPDelay: 15 * sim.Microsecond,
+		PauseStormSpan: sim.Millisecond,
 	}
 }
 
@@ -233,6 +246,30 @@ func (n *Network) TotalPFCFrames() int {
 	}
 	return total
 }
+
+// LongestPauseSpan returns the longest PFC pause interval observed so
+// far on any port, including pauses still in progress — so a pause-wait
+// deadlock, whose pauses never complete, is as visible as a long pause
+// that did. This is the signal the chaos deadlock monitor and the
+// netsim.pfc.longest_pause_span_ns gauge share.
+func (n *Network) LongestPauseSpan() sim.Time {
+	longest := n.longestPause
+	now := n.Engine.Now()
+	for _, node := range n.nodes {
+		for _, p := range node.Ports() {
+			if p.paused {
+				if span := now - p.pausedAt; span > longest {
+					longest = span
+				}
+			}
+		}
+	}
+	return longest
+}
+
+// PauseStorms returns how many completed pause intervals reached
+// PauseStormSpan.
+func (n *Network) PauseStorms() uint64 { return n.pauseStorms }
 
 // TotalDrops sums tail drops across all switches.
 func (n *Network) TotalDrops() int {

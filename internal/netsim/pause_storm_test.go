@@ -1,0 +1,92 @@
+package netsim
+
+import (
+	"testing"
+
+	"rocc/internal/sim"
+	"rocc/internal/telemetry"
+)
+
+// pauseCycle wires two switches back to back with a host behind each and
+// forces a pause-wait cycle: each switch's port toward the other is
+// paused, so neither inter-switch queue can drain — the topology of a
+// PFC deadlock, held in place without needing real circular traffic.
+func pauseCycle() (*sim.Engine, *Network, *Port, *Port) {
+	engine := sim.New()
+	net := New(engine, 1)
+	buf := BufferConfig{PFCEnabled: true, PFCThreshold: 100 * KB}
+	s0 := net.AddSwitch("s0", buf)
+	s1 := net.AddSwitch("s1", buf)
+	h0 := net.AddHost("h0")
+	h1 := net.AddHost("h1")
+	net.Connect(h0, s0, Gbps(40), 1500)
+	net.Connect(h1, s1, Gbps(40), 1500)
+	p01, p10 := net.Connect(s0, s1, Gbps(40), 1500)
+	net.ComputeRoutes()
+	p01.SetPaused(true)
+	p10.SetPaused(true)
+	return engine, net, p01, p10
+}
+
+// snapshotValue finds a named counter or gauge in a snapshot.
+func snapshotValue(t *testing.T, vals []telemetry.NamedValue, name string) float64 {
+	t.Helper()
+	for _, v := range vals {
+		if v.Name == name {
+			return v.Value
+		}
+	}
+	t.Fatalf("snapshot has no instrument %q", name)
+	return 0
+}
+
+func TestLongestPauseSpanSeesInProgressPause(t *testing.T) {
+	engine, net, _, _ := pauseCycle()
+	reg := telemetry.New()
+	net.SetTelemetry(reg, nil)
+
+	engine.RunUntil(5 * sim.Millisecond)
+	if got := net.LongestPauseSpan(); got < 5*sim.Millisecond {
+		t.Fatalf("LongestPauseSpan = %v during a 5ms wedged pause cycle", got)
+	}
+	// The deadlock monitor and dashboards read the same gauge.
+	snap := reg.Snapshot()
+	if g := snapshotValue(t, snap.Gauges, "netsim.pfc.longest_pause_span_ns"); g < float64(5*sim.Millisecond) {
+		t.Fatalf("longest_pause_span_ns gauge = %v, want >= 5ms worth of ns", g)
+	}
+	// The pauses never completed, so no storm was *counted* yet — the
+	// gauge is what exposes a live deadlock.
+	if net.PauseStorms() != 0 {
+		t.Fatalf("PauseStorms = %d before any pause completed", net.PauseStorms())
+	}
+}
+
+func TestPauseStormCountsCompletedLongPauses(t *testing.T) {
+	engine, net, p01, p10 := pauseCycle()
+	reg := telemetry.New()
+	net.SetTelemetry(reg, nil)
+
+	engine.RunUntil(3 * sim.Millisecond)
+	p01.SetPaused(false) // cycle broken: both spans complete
+	p10.SetPaused(false)
+	if net.PauseStorms() != 2 {
+		t.Fatalf("PauseStorms = %d after two 3ms pauses (threshold %v)", net.PauseStorms(), net.PauseStormSpan)
+	}
+	snap := reg.Snapshot()
+	if c := snapshotValue(t, snap.Counters, "netsim.pfc.pause_storm"); c != 2 {
+		t.Fatalf("pause_storm counter = %v, want 2", c)
+	}
+	// Completed spans persist in the gauge even after release.
+	if got := net.LongestPauseSpan(); got < 3*sim.Millisecond {
+		t.Fatalf("LongestPauseSpan = %v after 3ms completed pauses", got)
+	}
+}
+
+func TestShortPausesAreNotStorms(t *testing.T) {
+	engine, net, p01, _ := pauseCycle()
+	engine.RunUntil(100 * sim.Microsecond)
+	p01.SetPaused(false)
+	if net.PauseStorms() != 0 {
+		t.Fatalf("PauseStorms = %d for a 100µs pause", net.PauseStorms())
+	}
+}

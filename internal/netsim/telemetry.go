@@ -16,6 +16,7 @@ type netMetrics struct {
 	txBytes       *telemetry.Counter
 	ecnMarks      *telemetry.Counter
 	linkDownDrops *telemetry.Counter
+	pfcStorm      *telemetry.Counter   // completed pauses >= PauseStormSpan
 	queueDepth    *telemetry.Histogram // bytes, sampled at data enqueue
 	pauseSpans    *telemetry.Histogram // ns per completed PFC pause
 }
@@ -35,6 +36,7 @@ func (n *Network) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder)
 		txBytes:       reg.Counter("netsim.tx_bytes"),
 		ecnMarks:      reg.Counter("netsim.ecn_marks"),
 		linkDownDrops: reg.Counter("netsim.link_down_drops"),
+		pfcStorm:      reg.Counter("netsim.pfc.pause_storm"),
 		queueDepth:    reg.Histogram("netsim.queue_depth_bytes"),
 		pauseSpans:    reg.Histogram("netsim.pfc_pause_ns"),
 	}
@@ -47,6 +49,9 @@ func (n *Network) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder)
 	reg.GaugeFunc("sim.events_pending", func() float64 { return float64(eng.Pending()) })
 	reg.GaugeFunc("sim.events_max_pending", func() float64 { return float64(eng.MaxPending()) })
 	reg.GaugeFunc("netsim.active_flows", func() float64 { return float64(n.ActiveFlowCount()) })
+	reg.GaugeFunc("netsim.pfc.longest_pause_span_ns", func() float64 {
+		return float64(n.LongestPauseSpan())
+	})
 	reg.GaugeFunc("netsim.buffer_max_bytes", func() float64 {
 		max := 0
 		for _, s := range n.switches {
@@ -69,8 +74,18 @@ func (n *Network) TelemetryEvents() []telemetry.Event { return n.rec.Events() }
 // Recorder returns the attached flight recorder (nil when disabled).
 func (n *Network) Recorder() *telemetry.Recorder { return n.rec }
 
-// recordPauseSpan files one completed PFC pause interval.
+// recordPauseSpan files one completed PFC pause interval, tracking the
+// longest span seen and counting pause storms (spans at or above
+// Network.PauseStormSpan).
 func (n *Network) recordPauseSpan(p *Port, start, end sim.Time) {
+	span := end - start
+	if span > n.longestPause {
+		n.longestPause = span
+	}
+	if n.PauseStormSpan > 0 && span >= n.PauseStormSpan {
+		n.pauseStorms++
+		n.tm.pfcStorm.Inc()
+	}
 	n.tm.pauseSpans.Observe(int64(end - start))
 	n.rec.Record(telemetry.Event{
 		At:   int64(start),

@@ -32,6 +32,10 @@ type Result struct {
 // Run executes a scenario for the given duration on a fresh switch and
 // three clients, sampling every 20 ms.
 func Run(cfg Config, scenario Scenario, duration time.Duration) (Result, error) {
+	if cfg.Watchdog > 0 {
+		wd := StartWatchdog(cfg.Watchdog, "scenario-"+string(scenario), nil)
+		defer wd.Stop()
+	}
 	sw, err := NewSwitch(cfg)
 	if err != nil {
 		return Result{}, err

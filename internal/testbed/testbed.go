@@ -125,6 +125,12 @@ type Config struct {
 	// text snapshot on this address (e.g. "127.0.0.1:0") for the
 	// switch's lifetime.
 	PprofAddr string
+
+	// Watchdog, when positive, bounds each scenario run in wall-clock
+	// time: if the run has not finished within the deadline, the
+	// watchdog dumps every goroutine's stack and panics instead of
+	// letting a wedged socket loop hang the process silently.
+	Watchdog time.Duration
 }
 
 // DefaultConfig returns a laptop-friendly configuration: a 400 Mb/s

@@ -1,0 +1,52 @@
+package testbed
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Watchdog is a per-scenario hang detector. The testbed runs in real
+// time on real sockets, so a wedged loop (a socket that never errors, a
+// loop stuck on a lock) hangs the whole run instead of failing it; the
+// watchdog turns that hang into a diagnosable event by firing a full
+// goroutine dump when the deadline passes without Stop being called.
+type Watchdog struct {
+	timer   *time.Timer
+	stopped atomic.Bool
+	Fired   atomic.Bool
+}
+
+// StartWatchdog arms a watchdog: if Stop has not been called within d,
+// onTimeout receives the name and a dump of every goroutine's stack.
+// A nil onTimeout writes the dump to stderr and panics, which is what a
+// CI run wants — a loud corpse instead of a silent hang. Tests supply
+// their own onTimeout (a panic in the timer goroutine is unrecoverable).
+func StartWatchdog(d time.Duration, name string, onTimeout func(name string, stacks []byte)) *Watchdog {
+	if onTimeout == nil {
+		onTimeout = func(name string, stacks []byte) {
+			fmt.Fprintf(os.Stderr, "testbed: watchdog %q fired after %v; goroutine dump:\n%s\n", name, d, stacks)
+			panic("testbed: watchdog " + name + " fired")
+		}
+	}
+	w := &Watchdog{}
+	w.timer = time.AfterFunc(d, func() {
+		if w.stopped.Load() {
+			return
+		}
+		w.Fired.Store(true)
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		onTimeout(name, buf[:n])
+	})
+	return w
+}
+
+// Stop disarms the watchdog. Safe to call more than once; a watchdog
+// that already fired stays fired.
+func (w *Watchdog) Stop() {
+	w.stopped.Store(true)
+	w.timer.Stop()
+}

@@ -1,0 +1,71 @@
+package testbed
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestWatchdogFiresWithGoroutineDump simulates a hung scenario: the
+// watchdog is armed and never stopped, and must deliver a multi-
+// goroutine stack dump to the timeout handler.
+func TestWatchdogFiresWithGoroutineDump(t *testing.T) {
+	fired := make(chan string, 1)
+	w := StartWatchdog(50*time.Millisecond, "hung-scenario", func(name string, stacks []byte) {
+		fired <- name + "\n" + string(stacks)
+	})
+	defer w.Stop()
+
+	select {
+	case dump := <-fired:
+		if !strings.Contains(dump, "hung-scenario") {
+			t.Errorf("dump does not name the scenario: %.200s", dump)
+		}
+		// A whole-process dump always contains more than one goroutine
+		// header (at minimum the test runner and the timer goroutine).
+		if strings.Count(dump, "goroutine ") < 2 {
+			t.Errorf("expected a multi-goroutine dump, got:\n%.500s", dump)
+		}
+		if !w.Fired.Load() {
+			t.Error("Fired flag not set")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("watchdog never fired")
+	}
+}
+
+// TestWatchdogStopDisarms: a scenario that finishes in time must never
+// see the timeout handler run.
+func TestWatchdogStopDisarms(t *testing.T) {
+	var fired atomic.Bool
+	w := StartWatchdog(30*time.Millisecond, "ok-scenario", func(string, []byte) {
+		fired.Store(true)
+	})
+	w.Stop()
+	w.Stop() // idempotent
+	time.Sleep(80 * time.Millisecond)
+	if fired.Load() {
+		t.Fatal("watchdog fired after Stop")
+	}
+	if w.Fired.Load() {
+		t.Fatal("Fired flag set after Stop")
+	}
+}
+
+// TestScenarioRunWithWatchdog: a healthy run under a generous deadline
+// completes normally with the watchdog armed.
+func TestScenarioRunWithWatchdog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time testbed run")
+	}
+	cfg := DefaultConfig()
+	cfg.Watchdog = 30 * time.Second
+	res, err := Run(cfg, Uniform, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CNPs == 0 {
+		t.Error("no CNPs observed in a congested uniform run")
+	}
+}
