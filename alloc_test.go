@@ -1,0 +1,43 @@
+// Allocation-regression gate for the zero-allocation hot path: once the
+// event free list and the packet pool are primed, steady-state stepping
+// of the saturated-link topology (the BenchmarkEnginePacketEvents
+// workload) must not allocate. The gate is ≤1 alloc/event to absorb
+// incidental runtime noise; the measured value is 0.
+package rocc_test
+
+import (
+	"testing"
+
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+func TestSteadyStateStepAllocs(t *testing.T) {
+	engine := sim.New()
+	net := netsim.New(engine, 1)
+	sw := net.AddSwitch("s", netsim.BufferConfig{})
+	a := net.AddHost("a")
+	c := net.AddHost("c")
+	net.Connect(a, sw, netsim.Gbps(100), 1500*sim.Nanosecond)
+	net.Connect(sw, c, netsim.Gbps(100), 1500*sim.Nanosecond)
+	net.ComputeRoutes()
+	net.StartFlow(a, c, netsim.FlowConfig{Size: -1})
+
+	// Prime the pipeline: packet pool, event free list, heap capacity.
+	for i := 0; i < 200_000; i++ {
+		engine.Step()
+	}
+
+	const batch = 1000
+	allocsPerBatch := testing.AllocsPerRun(50, func() {
+		for i := 0; i < batch; i++ {
+			engine.Step()
+		}
+	})
+	perEvent := allocsPerBatch / batch
+	t.Logf("steady state: %.4f allocs/event (%.1f per %d-event batch)",
+		perEvent, allocsPerBatch, batch)
+	if perEvent > 1 {
+		t.Fatalf("steady-state stepping allocates %.2f objects/event, want ≤1 (target 0)", perEvent)
+	}
+}

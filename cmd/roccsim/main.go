@@ -30,6 +30,8 @@
 //	           recorder to this file (load in chrome://tracing or Perfetto)
 //	-metrics   print the telemetry registry snapshot after the run; with
 //	           -csv also writes metrics.csv
+//	-cpuprofile  write a CPU profile of the run (go tool pprof)
+//	-memprofile  write an allocation profile taken after the run
 //	-cnp-loss  faults: CNP loss probability (-1 = sweep 5/10/20%)
 //	-link-flap faults: link-flap period (0 = default 5 ms, down 10% of it)
 //	-count     soak: number of scenarios (0 = until -budget, or 100)
@@ -44,6 +46,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"rocc/internal/experiments"
@@ -76,6 +80,9 @@ var (
 	protoFlag   = flag.String("protocol", "rocc", "protocol under test for fig8/fig9 (rocc|dcqcn|dcqcn+pi|hpcc|timely|qcn|dctcp)")
 	traceFlag   = flag.String("trace", "", "write a Chrome trace-event JSON of the run to this file")
 	metricsFlag = flag.Bool("metrics", false, "print the telemetry metrics snapshot after the run")
+
+	cpuproFlag = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memproFlag = flag.String("memprofile", "", "write an allocation profile taken after the run to this file")
 )
 
 // proto is the -protocol flag resolved by main; runTel is the telemetry
@@ -145,6 +152,35 @@ func main() {
 	}
 	if *traceFlag != "" || *metricsFlag {
 		runTel = experiments.NewRunTelemetry()
+	}
+	if *cpuproFlag != "" {
+		f, err := os.Create(*cpuproFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memproFlag != "" {
+		defer func() {
+			f, err := os.Create(*memproFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the heap profile shows retention, not garbage
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+		}()
 	}
 	start := time.Now()
 	if name == "all" {

@@ -25,6 +25,7 @@ const (
 	InvLosslessDrops    = "lossless_drops"
 	InvStuckQueue       = "stuck_queue"
 	InvFairness         = "fairness"
+	InvPacketAccounting = "packet_accounting"
 )
 
 // Violation records one invariant trip.
@@ -263,6 +264,30 @@ func checkStuckQueue(rt *Runtime, _ RunOptions) (string, bool) {
 	return "", false
 }
 
+// checkPacketAccounting polices the packet pool's ledger while the run is
+// live: the outstanding count can only go negative through a double
+// release (each acquire adds one, each release subtracts one).
+func checkPacketAccounting(rt *Runtime, _ RunOptions) (string, bool) {
+	if live := rt.Net.OutstandingPackets(); live < 0 {
+		return fmt.Sprintf("outstanding pooled packets %d < 0 (double release)", live), true
+	}
+	return "", false
+}
+
+// checkPacketAccountingFinal closes the ledger after the drain grace: the
+// engine queue is empty, so every packet still charged to the simulation
+// must be parked in a port queue (normally zero of both). A surplus means
+// a terminal point forgot to release; a deficit means a double release.
+func checkPacketAccountingFinal(rt *Runtime, _ RunOptions) (string, bool) {
+	live := rt.Net.OutstandingPackets()
+	queued := int64(rt.Net.QueuedPackets())
+	if live != queued {
+		return fmt.Sprintf("%d pooled packets outstanding after drain but %d parked in queues (leak or double release)",
+			live, queued), true
+	}
+	return "", false
+}
+
 // checkFairness is the eventual-convergence invariant (§6.1 / Fig. 11),
 // applied only where it is well-posed: a clean star run whose persistent
 // flows all share the one bottleneck. Jain's index over second-half
@@ -315,6 +340,7 @@ var sampleCheckers = []struct {
 	{InvRPRateBounds, checkRPRate},
 	{InvFlowConservation, checkFlowConservation},
 	{InvLosslessDrops, checkLosslessDrops},
+	{InvPacketAccounting, checkPacketAccounting},
 }
 
 var finalCheckers = []struct {
@@ -325,4 +351,5 @@ var finalCheckers = []struct {
 	{InvLosslessDrops, checkLosslessDrops},
 	{InvFlowConservation, checkFlowConservation},
 	{InvFairness, checkFairness},
+	{InvPacketAccounting, checkPacketAccountingFinal},
 }

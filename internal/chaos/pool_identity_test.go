@@ -1,0 +1,84 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"rocc/internal/experiments"
+)
+
+// identityScenario exercises every terminal release point the pool has:
+// sink consumption, tail drops, ACK/CNP absorption, pause delivery, fault
+// drops, corrupt-clone substitution, and duplicate delivery — under a
+// fixed seed so two runs of the same binary are bit-for-bit comparable.
+func identityScenario(proto experiments.Protocol) Scenario {
+	const ms = int64(1e6)
+	return Scenario{
+		Seed:       91,
+		Protocol:   string(proto),
+		Topology:   TopologySpec{Kind: TopoStar, N: 4, Gbps: 10},
+		DurationNs: 3 * ms,
+		Flows: []FlowSpec{
+			{Src: 0, Dst: 4, SizeBytes: -1},
+			{Src: 1, Dst: 4, SizeBytes: -1},
+			{Src: 2, Dst: 4, SizeBytes: 500_000, Reliable: true},
+			{Src: 3, Dst: 4, SizeBytes: 200_000, StartNs: ms / 2},
+		},
+		Faults: []FaultSpec{
+			{Kind: FaultLink, Link: 0, Scope: ScopeData, Drop: 0.01, Duplicate: 0.01, Reorder: 0.02},
+			{Kind: FaultLink, Link: 1, Scope: ScopeCNP, Drop: 0.05, Corrupt: 0.05},
+			{Kind: FaultCNPLoss, Switch: 0, Prob: 0.1},
+		},
+	}
+}
+
+// TestPoolingByteIdentity pins the pooling refactor's core promise: reuse
+// is invisible. For every protocol, a fixed-seed chaos run with pooling on
+// and the same run with pooling off (every acquire allocates fresh) must
+// produce identical verdicts, counters, and telemetry event streams.
+func TestPoolingByteIdentity(t *testing.T) {
+	for _, proto := range experiments.AllProtocols() {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			t.Parallel()
+			sc := identityScenario(proto)
+
+			pooledTel := experiments.NewRunTelemetry()
+			pooled, err := Run(sc, RunOptions{Telemetry: pooledTel})
+			if err != nil {
+				t.Fatalf("pooled run: %v", err)
+			}
+
+			plainTel := experiments.NewRunTelemetry()
+			plain, err := Run(sc, RunOptions{Telemetry: plainTel, DisablePacketPool: true})
+			if err != nil {
+				t.Fatalf("unpooled run: %v", err)
+			}
+
+			if !reflect.DeepEqual(pooled, plain) {
+				t.Errorf("verdict diverged with pooling off:\n  pooled:   %+v\n  unpooled: %+v", pooled, plain)
+			}
+
+			pe, qe := pooledTel.Events(), plainTel.Events()
+			if len(pe) == 0 {
+				t.Fatal("telemetry captured no events; identity check is vacuous")
+			}
+			if !reflect.DeepEqual(pe, qe) {
+				n := len(pe)
+				if len(qe) < n {
+					n = len(qe)
+				}
+				for i := 0; i < n; i++ {
+					if !reflect.DeepEqual(pe[i], qe[i]) {
+						t.Fatalf("trace diverged at event %d of %d/%d:\n  pooled:   %+v\n  unpooled: %+v",
+							i, len(pe), len(qe), pe[i], qe[i])
+					}
+				}
+				t.Fatalf("trace lengths diverged: pooled %d events, unpooled %d", len(pe), len(qe))
+			}
+			if pooled.DeliveredBytes == 0 {
+				t.Error("scenario delivered no bytes; identity check is vacuous")
+			}
+		})
+	}
+}

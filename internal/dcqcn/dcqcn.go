@@ -128,13 +128,13 @@ func (r *Receiver) OnData(now sim.Time, pkt *netsim.Packet) *netsim.Packet {
 	}
 	r.lastCNP[pkt.Flow] = now
 	r.CNPsSent++
-	return &netsim.Packet{
-		Flow:   pkt.Flow,
-		Src:    r.host.ID(),
-		Dst:    pkt.Src,
-		Kind:   netsim.KindCNP,
-		Cls:    netsim.ClassCtrl,
-		Size:   netsim.CNPBytes,
-		SendTS: now,
-	}
+	cnp := r.host.Network().AcquirePacket()
+	cnp.Flow = pkt.Flow
+	cnp.Src = r.host.ID()
+	cnp.Dst = pkt.Src
+	cnp.Kind = netsim.KindCNP
+	cnp.Cls = netsim.ClassCtrl
+	cnp.Size = netsim.CNPBytes
+	cnp.SendTS = now
+	return cnp
 }

@@ -19,8 +19,8 @@ type FlowCC struct {
 	stageByte     int
 	stageTime     int
 
-	alphaTimer *sim.Event
-	rateTimer  *sim.Event
+	alphaTimer sim.Handle
+	rateTimer  sim.Handle
 	pacer      netsim.Pacer
 
 	// Counters.
@@ -86,33 +86,35 @@ func (cc *FlowCC) CurrentRate() netsim.Rate { return netsim.Mbps(cc.rc) }
 
 // Stop cancels internal timers (for teardown in long experiments).
 func (cc *FlowCC) Stop() {
-	if cc.alphaTimer != nil {
-		cc.alphaTimer.Cancel()
-	}
-	if cc.rateTimer != nil {
-		cc.rateTimer.Cancel()
-	}
+	cc.alphaTimer.Cancel()
+	cc.rateTimer.Cancel()
 }
 
+// The repeating timers reschedule through package-level callbacks so a
+// long-running sender's timer wheel reuses pooled event slots instead of
+// allocating a closure per tick.
+
 func (cc *FlowCC) armAlphaTimer() {
-	if cc.alphaTimer != nil {
-		cc.alphaTimer.Cancel()
-	}
-	cc.alphaTimer = cc.engine.After(cc.cfg.AlphaTimer, func() {
-		cc.alpha = (1 - cc.cfg.G) * cc.alpha
-		cc.armAlphaTimer()
-	})
+	cc.alphaTimer.Cancel()
+	cc.alphaTimer = cc.engine.AfterCall(cc.cfg.AlphaTimer, alphaTick, cc, nil)
+}
+
+func alphaTick(a, _ any) {
+	cc := a.(*FlowCC)
+	cc.alpha = (1 - cc.cfg.G) * cc.alpha
+	cc.armAlphaTimer()
 }
 
 func (cc *FlowCC) armRateTimer() {
-	if cc.rateTimer != nil {
-		cc.rateTimer.Cancel()
-	}
-	cc.rateTimer = cc.engine.After(cc.cfg.RateTimer, func() {
-		cc.stageTime++
-		cc.increase()
-		cc.armRateTimer()
-	})
+	cc.rateTimer.Cancel()
+	cc.rateTimer = cc.engine.AfterCall(cc.cfg.RateTimer, rateTick, cc, nil)
+}
+
+func rateTick(a, _ any) {
+	cc := a.(*FlowCC)
+	cc.stageTime++
+	cc.increase()
+	cc.armRateTimer()
 }
 
 // increase runs one rate-increase event: fast recovery, then additive,

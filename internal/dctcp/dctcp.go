@@ -76,15 +76,15 @@ func (r *Receiver) OnData(now sim.Time, pkt *netsim.Packet) *netsim.Packet {
 	if !pkt.CE {
 		return nil
 	}
-	return &netsim.Packet{
-		Flow:   pkt.Flow,
-		Src:    r.host.ID(),
-		Dst:    pkt.Src,
-		Kind:   netsim.KindCNP, // carried in the control class, like an ECE-marked ACK
-		Cls:    netsim.ClassAck,
-		Size:   netsim.AckBytes,
-		SendTS: now,
-	}
+	echo := r.host.Network().AcquirePacket()
+	echo.Flow = pkt.Flow
+	echo.Src = r.host.ID()
+	echo.Dst = pkt.Src
+	echo.Kind = netsim.KindCNP // carried in the control class, like an ECE-marked ACK
+	echo.Cls = netsim.ClassAck
+	echo.Size = netsim.AckBytes
+	echo.SendTS = now
+	return echo
 }
 
 // FlowCC is the DCTCP sender for one flow: window-based with the α-scaled

@@ -88,6 +88,13 @@ func NewStack(net *netsim.Network, proto Protocol, baseRTT sim.Time) *Stack {
 	if baseRTT == 0 {
 		baseRTT = 10 * sim.Microsecond
 	}
+	if proto == ProtoHPCC && net.INTHopCap == 0 {
+		// Presize pooled packets' INT buffers to the deepest path the
+		// experiment topologies use (fat-tree: host-leaf-spine-leaf-host is
+		// 4 stamping hops; 8 leaves headroom) so per-hop stamping never
+		// grows a backing array.
+		net.INTHopCap = 8
+	}
 	return &Stack{
 		Engine:  net.Engine,
 		Net:     net,

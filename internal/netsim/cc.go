@@ -5,6 +5,13 @@ import "rocc/internal/sim"
 // FlowCC is the per-flow congestion controller at the sender (the paper's
 // reaction point, and the equivalent state machine of every baseline).
 // Implementations pace by rate, limit by window, or both.
+//
+// Ownership contract: every *Packet passed to a FlowCC method is on loan
+// for the duration of the call. The packet returns to the network pool
+// (and its INT/EchoINT/CNP storage is recycled) as soon as the caller
+// regains control, so implementations must not retain the pointer or
+// alias its slices — copy out whatever outlives the call, as the HPCC
+// controller does with its EchoINT records.
 type FlowCC interface {
 	// Allow reports whether the flow may put a packet with the given
 	// payload size on the wire. If pacing delays transmission it returns
@@ -52,6 +59,11 @@ func (NoCC) CurrentRate() Rate { return Rate(1e15) }
 // port: ECN marking (DCQCN), INT stamping (HPCC), or the RoCC congestion
 // point's flow table. Periodic behaviour (the RoCC fair-rate timer) is
 // implemented with engine tickers owned by the attachment.
+//
+// Ownership contract: pkt is on loan for the duration of the call. Hooks
+// may mutate it in place (set CE, append an INT record) but must not
+// retain the pointer or alias its slices past the return — the packet is
+// pool-recycled at its terminal point and the storage will be reused.
 type PortCC interface {
 	// OnEnqueue runs when a data packet is accepted into the egress queue.
 	// qlen is the data-class queue length in bytes including pkt.
@@ -65,6 +77,12 @@ type PortCC interface {
 // ReceiverHook lets a protocol react to data arriving at the destination
 // host (e.g. DCQCN's receiver-generated CNPs). The returned packet, if any,
 // is sent back through the network.
+//
+// Ownership contract: pkt is on loan for the duration of the call and is
+// released to the pool right after — do not retain it or alias its
+// slices. The returned packet is the opposite: ownership transfers to the
+// network, so build it from Network.AcquirePacket and do not touch it
+// after returning.
 type ReceiverHook interface {
 	OnData(now sim.Time, pkt *Packet) *Packet
 }

@@ -33,22 +33,25 @@ type FaultVerdict struct {
 // Deliver is the identity verdict: pkt propagates unharmed.
 func Deliver(pkt *Packet) FaultVerdict { return FaultVerdict{Pkt: pkt} }
 
-// Clone copies a packet for duplicate delivery. Packets are normally
-// owned by exactly one queue or in-flight event, so the copy gets its
-// own CNP payload and INT slice — the receiver and any switch pipeline
-// may mutate them independently.
+// Clone copies a packet outside the pool (fault hooks use it to build
+// corrupted substitutes). Packets are normally owned by exactly one queue
+// or in-flight event, so the copy gets its own CNP payload and INT
+// slices — the receiver and any switch pipeline may mutate them
+// independently, and the clone outlives the original's release. The
+// clone is unpooled: releasing it is a no-op and the GC reclaims it. For
+// a pooled copy use Network.ClonePacket.
 func (pkt *Packet) Clone() *Packet {
 	c := *pkt
+	c.pooled = false
+	c.pc = pcheck{}
 	if pkt.CNP != nil {
-		info := *pkt.CNP
-		c.CNP = &info
+		c.cnpStore = *pkt.CNP
+		c.CNP = &c.cnpStore
 	}
-	if len(pkt.INT) > 0 {
-		c.INT = append([]INTRecord(nil), pkt.INT...)
-	}
-	if len(pkt.EchoINT) > 0 {
-		c.EchoINT = append([]INTRecord(nil), pkt.EchoINT...)
-	}
+	// Slices must not share backing arrays with the (releasable) original,
+	// even at zero length — a later append would write into its buffer.
+	c.INT = append([]INTRecord(nil), pkt.INT...)
+	c.EchoINT = append([]INTRecord(nil), pkt.EchoINT...)
 	return &c
 }
 

@@ -63,7 +63,7 @@ type Flow struct {
 	lastRewindSeq  int64
 	lastRewindTime sim.Time
 	RetxBytes      int64
-	rtoEv          *sim.Event
+	rtoEv          sim.Handle
 
 	// Receiver state.
 	rcvdContig int64
@@ -93,10 +93,7 @@ func (f *Flow) FCT() sim.Time { return f.FinishTime - f.StartTime }
 // Stop halts an unbounded flow at the sender and tears down its controller.
 func (f *Flow) Stop() {
 	f.stopped = true
-	if f.rtoEv != nil {
-		f.rtoEv.Cancel()
-		f.rtoEv = nil
-	}
+	f.rtoEv.Cancel()
 	f.net.removeFlowLater(f)
 }
 
@@ -179,15 +176,16 @@ func (f *Flow) makePacket(now sim.Time) *Packet {
 }
 
 func (f *Flow) armRTO(now sim.Time) {
-	if f.rtoEv != nil {
-		f.rtoEv.Cancel()
-	}
-	f.rtoEv = f.net.Engine.After(f.RTO, f.onRTO)
+	f.rtoEv.Cancel()
+	// AfterCall with a package-level func: arming the RTO per packet must
+	// not allocate a bound-method closure.
+	f.rtoEv = f.net.Engine.AfterCall(f.RTO, flowRTO, f, nil)
 }
 
-// onRTO is the go-back-N backstop: rewind to the last acknowledged byte.
-func (f *Flow) onRTO() {
-	f.rtoEv = nil
+// flowRTO is the go-back-N backstop: rewind to the last acknowledged byte.
+func flowRTO(a, _ any) {
+	f := a.(*Flow)
+	f.rtoEv = sim.Handle{}
 	if f.stopped || f.ackedSeq >= f.Size && f.Size >= 0 {
 		return
 	}
@@ -252,21 +250,23 @@ func (f *Flow) onDataArrive(now sim.Time, pkt *Packet) {
 	}
 }
 
-// sendAck emits a cumulative ACK (or NACK) with RTT and INT echoes.
+// sendAck emits a cumulative ACK (or NACK) with RTT and INT echoes. The
+// INT records are copied into the ACK's own (capacity-recycled) buffer:
+// aliasing the data packet's slice would dangle once the data packet
+// returns to the pool.
 func (f *Flow) sendAck(now sim.Time, data *Packet, nack bool) {
-	ack := &Packet{
-		Flow:    f.ID,
-		Src:     f.dstID,
-		Dst:     f.srcID,
-		Kind:    KindAck,
-		Cls:     ClassAck,
-		Size:    AckBytes,
-		AckSeq:  f.rcvdContig,
-		Nack:    nack,
-		EchoTS:  data.SendTS,
-		EchoINT: data.INT,
-		SendTS:  now,
-	}
+	ack := f.net.AcquirePacket()
+	ack.Flow = f.ID
+	ack.Src = f.dstID
+	ack.Dst = f.srcID
+	ack.Kind = KindAck
+	ack.Cls = ClassAck
+	ack.Size = AckBytes
+	ack.AckSeq = f.rcvdContig
+	ack.Nack = nack
+	ack.EchoTS = data.SendTS
+	ack.EchoINT = append(ack.EchoINT[:0], data.INT...)
+	ack.SendTS = now
 	f.dst.Send(ack)
 }
 
@@ -276,10 +276,7 @@ func (f *Flow) onAckArrive(now sim.Time, pkt *Packet) {
 		f.ackedSeq = pkt.AckSeq
 		if f.Reliable {
 			if f.Size >= 0 && f.ackedSeq >= f.Size {
-				if f.rtoEv != nil {
-					f.rtoEv.Cancel()
-					f.rtoEv = nil
-				}
+				f.rtoEv.Cancel()
 				f.net.removeFlowLater(f)
 			} else {
 				f.armRTO(now)

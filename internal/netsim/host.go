@@ -25,7 +25,7 @@ type Host struct {
 
 	flows   []*Flow // sending flows
 	rrIndex int
-	wake    *sim.Event
+	wake    sim.Handle
 
 	// Counters.
 	RxDataBytes uint64
@@ -128,53 +128,70 @@ func (h *Host) cleanup() {
 }
 
 func (h *Host) scheduleWake(at sim.Time) {
-	if h.wake != nil && !h.wake.Cancelled() && h.wake.At() <= at {
+	if !h.wake.Cancelled() && h.wake.At() <= at {
 		return
 	}
-	if h.wake != nil {
-		h.wake.Cancel()
-	}
-	h.wake = h.net.Engine.At(at, func() { h.port.kick() })
+	h.wake.Cancel()
+	h.wake = h.net.Engine.AtCall(at, hostWake, h, nil)
 }
 
-// Arrive implements Node.
+// hostWake re-arms the NIC scheduler; scheduled via AtCall so pacing
+// wake-ups reuse pooled event slots instead of allocating a closure.
+func hostWake(a, _ any) { a.(*Host).port.kick() }
+
+// hostCNPReady delivers a CNP to its flow's reaction point after the NIC
+// reaction delay. The flow is looked up at fire time (flow ids are never
+// reused) so a flow torn down during the delay drops the CNP, matching
+// the pre-pool closure's registry re-check. The packet is owned by this
+// event and released here.
+func hostCNPReady(a, b any) {
+	h := a.(*Host)
+	pkt := b.(*Packet)
+	if f := h.net.flows[pkt.Flow]; f != nil {
+		f.CC.OnCNP(h.net.Engine.Now(), pkt)
+		h.port.kick()
+	}
+	h.net.ReleasePacket(pkt)
+}
+
+// Arrive implements Node. The host is a terminal point for every packet
+// kind except CNPs, whose ownership moves to the reaction-delay event:
+// data, ACKs and pause frames are absorbed here and released back to the
+// pool once the flow/receiver hooks — which may read but not retain the
+// packet — have run.
 func (h *Host) Arrive(pkt *Packet, inPort int) {
+	pkt.checkLive("host arrive")
 	now := h.net.Engine.Now()
 	switch pkt.Kind {
 	case KindPause:
 		h.port.SetPaused(pkt.PauseOn)
+		h.net.ReleasePacket(pkt)
 	case KindData:
 		h.RxDataBytes += uint64(pkt.Size)
 		f := h.net.flows[pkt.Flow]
-		if f == nil {
-			return // flow already torn down
-		}
-		if h.Receiver != nil {
-			if resp := h.Receiver.OnData(now, pkt); resp != nil {
-				h.Send(resp)
+		if f != nil {
+			if h.Receiver != nil {
+				if resp := h.Receiver.OnData(now, pkt); resp != nil {
+					h.Send(resp)
+				}
 			}
+			f.onDataArrive(now, pkt)
 		}
-		f.onDataArrive(now, pkt)
+		h.net.ReleasePacket(pkt)
 	case KindAck:
 		f := h.net.flows[pkt.Flow]
-		if f == nil {
-			return
+		if f != nil {
+			f.onAckArrive(now, pkt)
 		}
-		f.onAckArrive(now, pkt)
+		h.net.ReleasePacket(pkt)
 	case KindCNP:
 		h.CNPsRx++
-		f := h.net.flows[pkt.Flow]
-		if f == nil {
+		if h.net.flows[pkt.Flow] == nil {
+			h.net.ReleasePacket(pkt)
 			return
 		}
 		// NIC reaction delay before the reaction point processes the CNP.
-		h.net.Engine.After(h.RPDelay, func() {
-			if h.net.flows[pkt.Flow] == nil {
-				return
-			}
-			f.CC.OnCNP(h.net.Engine.Now(), pkt)
-			h.port.kick()
-		})
+		h.net.Engine.AfterCall(h.RPDelay, hostCNPReady, h, pkt)
 	}
 }
 

@@ -43,6 +43,15 @@ type Network struct {
 	// millisecond-scale pause means an upstream queue is wedged.
 	PauseStormSpan sim.Time
 
+	// INTHopCap, when positive, presizes the INT/EchoINT slices of every
+	// pool-fresh packet so per-hop telemetry stamping never grows the
+	// backing array. Set it to the topology diameter (the experiment stack
+	// uses 8 for HPCC); zero leaves the slices nil until first use.
+	INTHopCap int
+
+	// pool recycles Packet structs; see pool.go for the lifecycle contract.
+	pool packetPool
+
 	// longestPause is the longest completed PFC pause interval seen so
 	// far; LongestPauseSpan extends it with in-progress pauses so a true
 	// deadlock (a pause that never completes) is still visible.

@@ -77,7 +77,12 @@ type CNPInfo struct {
 }
 
 // Packet is the unit of transmission. Packets are passed by pointer and
-// owned by exactly one queue or in-flight event at a time.
+// owned by exactly one queue or in-flight event at a time; that owner is
+// responsible for handing the packet on (enqueue, deliver) or releasing
+// it back to the network pool (Network.ReleasePacket) at exactly one of
+// the terminal points: sink consumption, drop, ACK/CNP absorption, or
+// pause-frame delivery. Protocol hooks (FlowCC, PortCC, ReceiverHook)
+// observe packets but never own them — see the contracts in cc.go.
 type Packet struct {
 	Flow FlowID
 	Src  NodeID // originating node
@@ -113,21 +118,54 @@ type Packet struct {
 	SendTS sim.Time // when the packet was first put on the wire
 
 	ingress int // transient: arrival port at the switch currently buffering it
+
+	// cnpStore is the pool-cycle-stable backing for CNP: pooled packets
+	// point CNP at their own embedded record (see EnsureCNP) so carrying
+	// a congestion payload costs no allocation.
+	cnpStore CNPInfo
+
+	// pooled marks packets acquired from the network pool. Only pooled
+	// packets return to the free list on release and count toward
+	// Network.OutstandingPackets; hand-built packets (tests, external
+	// callers) pass through release unharmed and fall to the GC.
+	pooled bool
+
+	// pc is the poolcheck lifecycle stamp. Without the poolcheck build
+	// tag it is an empty struct and every check compiles to nothing.
+	pc pcheck
 }
 
-// dataPacket builds a payload packet for a flow.
+// EnsureCNP attaches a zeroed congestion payload to the packet, stored
+// inline so pooled CNPs allocate nothing, and returns it for filling.
+func (pkt *Packet) EnsureCNP() *CNPInfo {
+	pkt.cnpStore = CNPInfo{}
+	pkt.CNP = &pkt.cnpStore
+	return pkt.CNP
+}
+
+// reset clears a packet for reuse, preserving the INT/EchoINT backing
+// arrays (capacity survives pool cycles — the point of pooling them) and
+// the poolcheck generation stamp.
+func (pkt *Packet) reset() {
+	intBuf := pkt.INT[:0]
+	echoBuf := pkt.EchoINT[:0]
+	pc := pkt.pc
+	*pkt = Packet{INT: intBuf, EchoINT: echoBuf, pooled: true, pc: pc}
+}
+
+// dataPacket builds a payload packet for a flow from the network pool.
 func dataPacket(f *Flow, seq int64, payload int, last bool, now sim.Time) *Packet {
-	return &Packet{
-		Flow:    f.ID,
-		Src:     f.srcID,
-		Dst:     f.dstID,
-		Kind:    KindData,
-		Cls:     ClassData,
-		Size:    payload + HeaderBytes,
-		Seq:     seq,
-		Payload: payload,
-		Last:    last,
-		ECT:     true,
-		SendTS:  now,
-	}
+	pkt := f.net.AcquirePacket()
+	pkt.Flow = f.ID
+	pkt.Src = f.srcID
+	pkt.Dst = f.dstID
+	pkt.Kind = KindData
+	pkt.Cls = ClassData
+	pkt.Size = payload + HeaderBytes
+	pkt.Seq = seq
+	pkt.Payload = payload
+	pkt.Last = last
+	pkt.ECT = true
+	pkt.SendTS = now
+	return pkt
 }

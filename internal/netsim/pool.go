@@ -1,0 +1,147 @@
+package netsim
+
+// packetPool is the network-owned free list of Packet structs. The
+// simulator is single-threaded (one engine drives one network), so the
+// pool needs no locking. Packets acquired here carry their INT/EchoINT
+// backing arrays across cycles, so a warmed-up simulation sends, stamps
+// and acknowledges without touching the allocator.
+//
+// The lifecycle contract the pool enforces (and poolcheck polices):
+//
+//	AcquirePacket → enqueue/deliver hand-offs → exactly one release at a
+//	terminal point (sink consumption, drop, ACK/CNP absorption, pause
+//	delivery).
+//
+// Releasing a packet that did not come from the pool is a safe no-op on
+// the free list: the packet simply falls to the GC. That keeps hand-built
+// packets (tests, external drivers) working without registration.
+type packetPool struct {
+	free []*Packet
+
+	acquired  uint64 // AcquirePacket calls
+	released  uint64 // ReleasePacket calls on pooled packets
+	allocated uint64 // fresh Packet structs ever created by the pool
+	live      int64  // pooled packets currently owned outside the pool
+
+	disabled bool // byte-identity escape hatch: allocate fresh, never reuse
+}
+
+// SetPooling enables or disables packet reuse. With pooling off every
+// acquire allocates a fresh Packet and releases fall to the GC — the
+// pre-pool behaviour, kept as a runtime toggle so fixed-seed runs can
+// assert byte-identity between the two paths. Toggle before the first
+// packet is sent; flipping mid-run is safe (the free list is simply
+// ignored or resumed) but pointless.
+func (n *Network) SetPooling(on bool) { n.pool.disabled = !on }
+
+// PoolingEnabled reports whether packet reuse is active.
+func (n *Network) PoolingEnabled() bool { return !n.pool.disabled }
+
+// AcquirePacket returns a zeroed packet owned by the caller. Protocol
+// elements that inject packets (CNP generators, receiver hooks) must use
+// this instead of &Packet{} so the hot path stays allocation-free; the
+// network releases the packet at its terminal point.
+func (n *Network) AcquirePacket() *Packet {
+	p := &n.pool
+	if p.disabled {
+		pkt := &Packet{}
+		n.preallocINT(pkt)
+		return pkt
+	}
+	p.acquired++
+	p.live++
+	var pkt *Packet
+	if m := len(p.free); m > 0 {
+		pkt = p.free[m-1]
+		p.free[m-1] = nil
+		p.free = p.free[:m-1]
+	} else {
+		p.allocated++
+		pkt = &Packet{pooled: true}
+		n.preallocINT(pkt)
+	}
+	pkt.stampAcquire()
+	return pkt
+}
+
+// preallocINT reserves INT/EchoINT hop capacity on a fresh packet so the
+// first INT stamping pass never reallocates (HPCC grows one record per
+// hop; without this every new packet pays log2(hops) grows before its
+// backing array reaches steady state).
+func (n *Network) preallocINT(pkt *Packet) {
+	if n.INTHopCap > 0 {
+		pkt.INT = make([]INTRecord, 0, n.INTHopCap)
+		pkt.EchoINT = make([]INTRecord, 0, n.INTHopCap)
+	}
+}
+
+// ReleasePacket returns a packet to the pool at its terminal lifecycle
+// point. Nil-safe. Packets not acquired from the pool are ignored (GC
+// reclaims them); pooled packets must not be touched after release —
+// build with -tags poolcheck to panic on use-after-release and
+// double-release instead of corrupting a later packet.
+func (n *Network) ReleasePacket(pkt *Packet) {
+	if pkt == nil || !pkt.pooled {
+		return
+	}
+	pkt.stampRelease()
+	p := &n.pool
+	p.released++
+	p.live--
+	if p.disabled {
+		pkt.pooled = false // pool drained at toggle time; let the GC take it
+		return
+	}
+	pkt.reset()
+	p.free = append(p.free, pkt)
+}
+
+// ClonePacket copies a packet for duplicate delivery through the pool:
+// the clone owns its own INT/EchoINT backing arrays and CNP payload, so
+// both copies can be mutated and released independently.
+func (n *Network) ClonePacket(pkt *Packet) *Packet {
+	c := n.AcquirePacket()
+	intBuf, echoBuf := c.INT, c.EchoINT
+	pooled, pc := c.pooled, c.pc
+	*c = *pkt
+	c.pooled, c.pc = pooled, pc
+	c.INT = append(intBuf[:0], pkt.INT...)
+	c.EchoINT = append(echoBuf[:0], pkt.EchoINT...)
+	if pkt.CNP != nil {
+		c.cnpStore = *pkt.CNP
+		c.CNP = &c.cnpStore
+	} else {
+		c.CNP = nil
+		c.cnpStore = CNPInfo{}
+	}
+	return c
+}
+
+// OutstandingPackets returns the number of pooled packets currently owned
+// outside the pool: queued on a port, in flight on a link, or parked in
+// a delayed-delivery event. After a full drain (engine queue empty, all
+// port queues empty) this must be zero — the chaos packet-accounting
+// invariant — and it can only go negative through a double release.
+func (n *Network) OutstandingPackets() int64 { return n.pool.live }
+
+// PacketsAcquired returns the lifetime count of pool acquisitions.
+func (n *Network) PacketsAcquired() uint64 { return n.pool.acquired }
+
+// PacketSlots returns how many Packet structs the pool ever allocated.
+// In an allocation-free steady state this stops growing: it tracks the
+// peak number of simultaneously live packets, not the number sent.
+func (n *Network) PacketSlots() uint64 { return n.pool.allocated }
+
+// QueuedPackets counts packets sitting in port queues across the whole
+// network (all nodes, all classes). Together with OutstandingPackets it
+// closes the accounting loop: after the engine drains, every outstanding
+// packet must be parked in some queue (normally zero of both).
+func (n *Network) QueuedPackets() int {
+	total := 0
+	for _, node := range n.nodes {
+		for _, p := range node.Ports() {
+			total += p.QueuedPackets()
+		}
+	}
+	return total
+}

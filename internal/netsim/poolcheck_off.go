@@ -1,0 +1,19 @@
+//go:build !poolcheck
+
+package netsim
+
+// PoolcheckEnabled reports whether this binary was built with the
+// poolcheck lifecycle checker (-tags poolcheck).
+const PoolcheckEnabled = false
+
+// pcheck is the poolcheck lifecycle stamp. In normal builds it is empty
+// and every stamp/check below compiles to nothing, so the release build
+// pays zero bytes and zero branches for the debug machinery.
+type pcheck struct{}
+
+func (pkt *Packet) stampAcquire() {}
+func (pkt *Packet) stampRelease() {}
+
+// checkLive panics (poolcheck builds only) if pkt is a pooled packet that
+// was already released — i.e. the caller is using a stale pointer.
+func (pkt *Packet) checkLive(where string) {}

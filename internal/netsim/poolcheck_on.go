@@ -1,0 +1,43 @@
+//go:build poolcheck
+
+package netsim
+
+import "fmt"
+
+// PoolcheckEnabled reports whether this binary was built with the
+// poolcheck lifecycle checker (-tags poolcheck).
+const PoolcheckEnabled = true
+
+// pcheck generation-stamps pooled packets so lifecycle violations fail
+// loudly at the violating call site instead of silently corrupting a
+// later packet. gen counts pool cycles; live is true between acquire and
+// release.
+type pcheck struct {
+	gen  uint32
+	live bool
+}
+
+func (pkt *Packet) stampAcquire() {
+	if pkt.pc.live {
+		panic(fmt.Sprintf("netsim: poolcheck: acquired packet already live (gen %d) — free-list corruption", pkt.pc.gen))
+	}
+	pkt.pc.gen++
+	pkt.pc.live = true
+}
+
+func (pkt *Packet) stampRelease() {
+	if !pkt.pc.live {
+		panic(fmt.Sprintf("netsim: poolcheck: double release of %s packet flow=%d seq=%d (gen %d)",
+			pkt.Kind, pkt.Flow, pkt.Seq, pkt.pc.gen))
+	}
+	pkt.pc.live = false
+}
+
+// checkLive panics if pkt is a pooled packet that was already released —
+// the caller is holding a stale pointer past the packet's terminal point.
+func (pkt *Packet) checkLive(where string) {
+	if pkt.pooled && !pkt.pc.live {
+		panic(fmt.Sprintf("netsim: poolcheck: use after release at %s: %s packet flow=%d seq=%d (gen %d)",
+			where, pkt.Kind, pkt.Flow, pkt.Seq, pkt.pc.gen))
+	}
+}

@@ -105,9 +105,22 @@ func (p *Port) SetLinkDown(down bool) {
 	p.kick()
 }
 
+// QueuedPackets returns the number of packets parked across all class
+// queues (excluding the packet currently serializing). The pool
+// accounting invariant uses it: after the engine drains, every
+// outstanding pooled packet must be parked in some queue.
+func (p *Port) QueuedPackets() int {
+	total := 0
+	for c := range p.queues {
+		total += p.queues[c].Len()
+	}
+	return total
+}
+
 // Enqueue appends a packet to its class queue and starts transmission if
-// the port is idle.
+// the port is idle. The queue takes ownership of the packet.
 func (p *Port) Enqueue(pkt *Packet) {
+	pkt.checkLive("port enqueue")
 	c := pkt.Cls
 	p.queues[c].Push(pkt)
 	p.queueBytes[c] += pkt.Size
@@ -127,14 +140,19 @@ func (p *Port) SetPaused(on bool) {
 	now := p.net.Engine.Now()
 	if on {
 		p.pausedAt = now
-		p.trace("pause", &Packet{Kind: KindPause})
+		p.trace("pause", pauseTraceStub)
 	} else {
 		p.pausedFor += now - p.pausedAt
-		p.trace("resume", &Packet{Kind: KindPause})
+		p.trace("resume", pauseTraceStub)
 		p.net.recordPauseSpan(p, p.pausedAt, now)
 		p.kick()
 	}
 }
+
+// pauseTraceStub stands in for a packet in pause/resume trace records,
+// which carry no per-packet data. Tracers only read fields, so one shared
+// stub avoids allocating a throwaway Packet per pause transition.
+var pauseTraceStub = &Packet{Kind: KindPause}
 
 // nextPacket pops the highest-priority transmittable packet, consulting the
 // Refill hook when the data queue is empty.
@@ -178,21 +196,28 @@ func (p *Port) kick() {
 		}
 	}
 	txTime := p.LinkRate.TxTime(pkt.Size)
-	p.net.Engine.After(txTime, func() {
-		p.busy = false
-		p.TxBytes += uint64(pkt.Size)
-		p.TxPackets++
-		p.net.tm.txPackets.Inc()
-		p.net.tm.txBytes.Add(uint64(pkt.Size))
-		if pkt.Kind == KindData {
-			p.TxDataBytes += uint64(pkt.Size)
-			if pkt.CE {
-				p.net.tm.ecnMarks.Inc()
-			}
+	p.net.Engine.AfterCall(txTime, portTxDone, p, pkt)
+}
+
+// portTxDone fires when a packet finishes serializing: counters, hand-off
+// to the wire, and the next transmission. Scheduled via AfterCall so the
+// per-packet tx event reuses pooled slots instead of allocating a closure.
+func portTxDone(a, b any) {
+	p := a.(*Port)
+	pkt := b.(*Packet)
+	p.busy = false
+	p.TxBytes += uint64(pkt.Size)
+	p.TxPackets++
+	p.net.tm.txPackets.Inc()
+	p.net.tm.txBytes.Add(uint64(pkt.Size))
+	if pkt.Kind == KindData {
+		p.TxDataBytes += uint64(pkt.Size)
+		if pkt.CE {
+			p.net.tm.ecnMarks.Inc()
 		}
-		p.deliver(pkt, p.PropDelay)
-		p.kick()
-	})
+	}
+	p.deliver(pkt, p.PropDelay)
+	p.kick()
 }
 
 // deliver puts a serialized packet on the wire toward the link peer: it
@@ -203,28 +228,39 @@ func (p *Port) deliver(pkt *Packet, delay sim.Time) {
 	if p.linkDown {
 		p.LinkDownDrops++
 		p.net.tm.linkDownDrops.Inc()
+		p.net.ReleasePacket(pkt)
 		return
 	}
-	dup := false
 	if p.Fault != nil {
 		v := p.Fault.OnTransmit(p.net.Engine.Now(), pkt)
 		if v.Pkt == nil {
+			// The link lost the packet: this is its terminal point.
+			p.net.ReleasePacket(pkt)
 			return
 		}
-		pkt = v.Pkt
+		if v.Pkt != pkt {
+			// The hook substituted a corrupted clone; the original is done.
+			p.net.ReleasePacket(pkt)
+		}
 		delay += v.ExtraDelay
-		dup = v.Duplicate
+		pkt = v.Pkt
+		if v.Duplicate {
+			// Schedule the original first so it keeps arriving ahead of its
+			// duplicate (same timestamp, earlier sequence number).
+			p.net.Engine.AfterCall(delay, portArrive, p, pkt)
+			p.net.Engine.AfterCall(delay, portArrive, p, p.net.ClonePacket(pkt))
+			return
+		}
 	}
-	peer, peerPort := p.PeerNode, p.PeerPort
-	p.net.Engine.After(delay, func() {
-		peer.Arrive(pkt, peerPort)
-	})
-	if dup {
-		second := pkt.Clone()
-		p.net.Engine.After(delay, func() {
-			peer.Arrive(second, peerPort)
-		})
-	}
+	p.net.Engine.AfterCall(delay, portArrive, p, pkt)
+}
+
+// portArrive lands a packet at the link peer after propagation. Peer
+// wiring is read at fire time — ports never re-peer after Connect — so
+// the event carries only the transmitting port and the packet.
+func portArrive(a, b any) {
+	p := a.(*Port)
+	p.PeerNode.Arrive(b.(*Packet), p.PeerPort)
 }
 
 // sendPauseFrame delivers a PFC pause/resume to the link peer out of band
@@ -234,7 +270,11 @@ func (p *Port) deliver(pkt *Packet, delay sim.Time) {
 // faulty link can lose them — the peer then stays paused (or unpaused)
 // until the link-up reset clears the state.
 func (p *Port) sendPauseFrame(on bool) {
-	pkt := &Packet{Kind: KindPause, Cls: ClassCtrl, Size: PauseBytes, PauseOn: on}
+	pkt := p.net.AcquirePacket()
+	pkt.Kind = KindPause
+	pkt.Cls = ClassCtrl
+	pkt.Size = PauseBytes
+	pkt.PauseOn = on
 	p.deliver(pkt, p.LinkRate.TxTime(PauseBytes)+p.PropDelay)
 }
 

@@ -106,10 +106,14 @@ func (s *Switch) addPort(p *Port) {
 	s.pausedIngress = append(s.pausedIngress, false)
 }
 
-// Arrive implements Node.
+// Arrive implements Node. Pause frames are absorbed (and released) here;
+// everything else is handed on to an egress queue, except tail drops,
+// which are the packet's terminal point.
 func (s *Switch) Arrive(pkt *Packet, inPort int) {
+	pkt.checkLive("switch arrive")
 	if pkt.Kind == KindPause {
 		s.ports[inPort].SetPaused(pkt.PauseOn)
+		s.net.ReleasePacket(pkt)
 		return
 	}
 	egress := s.egressFor(pkt)
@@ -125,6 +129,7 @@ func (s *Switch) Arrive(pkt *Packet, inPort int) {
 	if s.Buffer.TotalBytes > 0 && s.bufferUsed+pkt.Size > s.Buffer.TotalBytes {
 		s.Drops++
 		s.net.recordDrop(s, pkt)
+		s.net.ReleasePacket(pkt)
 		return
 	}
 	s.bufferUsed += pkt.Size
@@ -210,8 +215,10 @@ func (s *Switch) resetPFC(portIndex int) {
 }
 
 // Inject routes a locally generated packet (a RoCC CNP) out of the switch.
+// A gate veto is the packet's terminal point.
 func (s *Switch) Inject(pkt *Packet) {
 	if s.InjectGate != nil && !s.InjectGate(pkt) {
+		s.net.ReleasePacket(pkt)
 		return
 	}
 	egress := s.egressFor(pkt)

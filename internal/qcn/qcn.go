@@ -104,16 +104,16 @@ func (cp *CP) OnEnqueue(now sim.Time, pkt *netsim.Packet, qlen int) {
 		return
 	}
 	cp.FbSent++
-	cp.sw.Inject(&netsim.Packet{
-		Flow:   pkt.Flow,
-		Src:    cp.sw.ID(),
-		Dst:    f.Src().ID(),
-		Kind:   netsim.KindCNP,
-		Cls:    netsim.ClassCtrl,
-		Size:   netsim.CNPBytes,
-		CNP:    &netsim.CNPInfo{RateUnits: quantized}, // carries |Fb|
-		SendTS: now,
-	})
+	cnp := cp.net.AcquirePacket()
+	cnp.Flow = pkt.Flow
+	cnp.Src = cp.sw.ID()
+	cnp.Dst = f.Src().ID()
+	cnp.Kind = netsim.KindCNP
+	cnp.Cls = netsim.ClassCtrl
+	cnp.Size = netsim.CNPBytes
+	cnp.EnsureCNP().RateUnits = quantized // carries |Fb|
+	cnp.SendTS = now
+	cp.sw.Inject(cnp)
 }
 
 // OnDequeue implements netsim.PortCC.
@@ -131,7 +131,7 @@ type FlowCC struct {
 	bytesSinceInc int64
 	stageByte     int
 	stageTime     int
-	timer         *sim.Event
+	timer         sim.Handle
 	pacer         netsim.Pacer
 
 	Cuts int
@@ -189,21 +189,22 @@ func (cc *FlowCC) CurrentRate() netsim.Rate { return netsim.Mbps(cc.rc) }
 
 // Stop cancels the recovery timer (flow teardown).
 func (cc *FlowCC) Stop() {
-	if cc.timer != nil {
-		cc.timer.Cancel()
-		cc.timer = nil
-	}
+	cc.timer.Cancel()
 }
 
 func (cc *FlowCC) armTimer() {
-	if cc.timer != nil {
-		cc.timer.Cancel()
-	}
-	cc.timer = cc.engine.After(cc.cfg.Timer, func() {
-		cc.stageTime++
-		cc.increase()
-		cc.armTimer()
-	})
+	cc.timer.Cancel()
+	cc.timer = cc.engine.AfterCall(cc.cfg.Timer, recoveryTick, cc, nil)
+}
+
+// recoveryTick runs one fast-recovery cycle; a package-level callback so
+// the repeating timer reuses pooled event slots instead of allocating a
+// closure per tick.
+func recoveryTick(a, _ any) {
+	cc := a.(*FlowCC)
+	cc.stageTime++
+	cc.increase()
+	cc.armTimer()
 }
 
 func (cc *FlowCC) increase() {

@@ -130,16 +130,18 @@ func (cp *CP) update() {
 		if units < 1 {
 			units = 1
 		}
-		cp.sw.Inject(&netsim.Packet{
-			Flow:   f.ID,
-			Src:    cp.sw.ID(),
-			Dst:    f.Src().ID(),
-			Kind:   netsim.KindCNP,
-			Cls:    netsim.ClassCtrl,
-			Size:   netsim.CNPBytes,
-			CNP:    &netsim.CNPInfo{CP: cpid, RateUnits: units},
-			SendTS: now,
-		})
+		cnp := cp.net.AcquirePacket()
+		cnp.Flow = f.ID
+		cnp.Src = cp.sw.ID()
+		cnp.Dst = f.Src().ID()
+		cnp.Kind = netsim.KindCNP
+		cnp.Cls = netsim.ClassCtrl
+		cnp.Size = netsim.CNPBytes
+		cnp.SendTS = now
+		info := cnp.EnsureCNP()
+		info.CP = cpid
+		info.RateUnits = units
+		cp.sw.Inject(cnp)
 		cp.CNPsSent++
 	}
 }

@@ -165,21 +165,21 @@ func (cp *CP) update() {
 		if f == nil {
 			continue
 		}
-		info := &netsim.CNPInfo{CP: cpid, RateUnits: rateUnits}
+		cnp := cp.net.AcquirePacket()
+		cnp.Flow = f.ID
+		cnp.Src = cp.sw.ID()
+		cnp.Dst = f.Src().ID()
+		cnp.Kind = netsim.KindCNP
+		cnp.Cls = cp.opts.CNPClass
+		cnp.Size = netsim.CNPBytes
+		cnp.SendTS = now
+		info := cnp.EnsureCNP()
+		info.CP = cpid
+		info.RateUnits = rateUnits
 		if cp.opts.HostComputed {
 			info.HostComputed = true
 			info.QCurUnits = qcur / cp.opts.Core.DeltaQBytes
 			info.QOldUnits = qoldUnits
-		}
-		cnp := &netsim.Packet{
-			Flow:   f.ID,
-			Src:    cp.sw.ID(),
-			Dst:    f.Src().ID(),
-			Kind:   netsim.KindCNP,
-			Cls:    cp.opts.CNPClass,
-			Size:   netsim.CNPBytes,
-			CNP:    info,
-			SendTS: now,
 		}
 		cp.sw.Inject(cnp)
 		cp.CNPsSent++

@@ -73,7 +73,7 @@ type FlowCC struct {
 	hostCP   *core.HostCP
 	lastCNPs map[core.CPKey]sim.Time
 	pacer    netsim.Pacer
-	timer    *sim.Event
+	timer    sim.Handle
 
 	// Telemetry (nil-safe; resolved from the host's network at build).
 	rec  *telemetry.Recorder
@@ -198,23 +198,21 @@ func (cc *FlowCC) CurrentRate() netsim.Rate {
 
 // Stop cancels the fast-recovery timer (flow teardown).
 func (cc *FlowCC) Stop() {
-	if cc.timer != nil {
-		cc.timer.Cancel()
-		cc.timer = nil
-	}
+	cc.timer.Cancel()
 }
 
 func (cc *FlowCC) resetTimer() {
-	if cc.timer != nil {
-		cc.timer.Cancel()
-	}
-	cc.timer = cc.engine.After(cc.opts.RecoveryTimer, cc.onTimer)
+	cc.timer.Cancel()
+	// AfterCall with a package-level func: the recovery timer re-arms on
+	// every accepted CNP, so it must not allocate a bound-method closure.
+	cc.timer = cc.engine.AfterCall(cc.opts.RecoveryTimer, recoveryExpired, cc, nil)
 }
 
-// onTimer is Alg. 2's Timer_Expired: double the rate, or uninstall the
-// rate limiter once it exceeds Rmax.
-func (cc *FlowCC) onTimer() {
-	cc.timer = nil
+// recoveryExpired is Alg. 2's Timer_Expired: double the rate, or uninstall
+// the rate limiter once it exceeds Rmax.
+func recoveryExpired(a, _ any) {
+	cc := a.(*FlowCC)
+	cc.timer = sim.Handle{}
 	if cc.rp.TimerExpired() {
 		// Rate limiter removed; the flow transmits unconstrained until
 		// the next CNP. No timer needed.

@@ -2,34 +2,77 @@ package sim
 
 import "container/heap"
 
-// Event is a scheduled callback. It may be cancelled before it fires.
-type Event struct {
-	at     Time
-	seq    uint64
-	fn     func()
+// event is one scheduled callback slot. Slots are owned by the engine:
+// after an event fires or is cancelled its slot returns to an engine free
+// list and is reused by a later At/After, so a steady-state simulation
+// schedules without allocating. The generation counter makes stale
+// Handles (kept by callers across a recycle) permanently inert.
+type event struct {
+	at  Time
+	seq uint64
+	gen uint64 // bumped on every recycle; Handles carry the gen they saw
+
+	// Exactly one of fn / cb is set while scheduled; both nil once the
+	// slot is free. The cb form exists so hot paths can schedule without
+	// allocating a closure: cb is typically a package-level func and a, b
+	// carry its receiver/argument pointers (pointers boxed in an `any`
+	// do not allocate).
+	fn   func()
+	cb   Callback
+	a, b any
+
 	index  int // heap index, -1 once popped or cancelled
 	engine *Engine
 }
 
-// At returns the virtual time the event is scheduled for.
-func (ev *Event) At() Time { return ev.at }
+// Callback is the allocation-free callback form: a package-level (or
+// otherwise pre-built) function receiving the two values it was scheduled
+// with. See Engine.AtCall.
+type Callback func(a, b any)
 
-// Cancelled reports whether the event was cancelled or already fired.
-func (ev *Event) Cancelled() bool { return ev.fn == nil }
+// Handle refers to a scheduled event. It is a small value (no heap
+// allocation) and stays safe across the event's whole lifecycle: once the
+// event fires or is cancelled, the engine recycles the slot and every
+// outstanding Handle to it becomes inert — Cancel on a stale Handle is a
+// no-op even if the slot now carries an unrelated event. The zero Handle
+// is valid and behaves like an already-cancelled event.
+type Handle struct {
+	ev  *event
+	gen uint64
+}
+
+// live reports whether the handle still refers to its scheduled event.
+func (h Handle) live() bool {
+	return h.ev != nil && h.ev.gen == h.gen && (h.ev.fn != nil || h.ev.cb != nil)
+}
+
+// At returns the virtual time the event is scheduled for, or 0 if the
+// event already fired or was cancelled.
+func (h Handle) At() Time {
+	if !h.live() {
+		return 0
+	}
+	return h.ev.at
+}
+
+// Cancelled reports whether the event fired, was cancelled, or was never
+// scheduled (the zero Handle).
+func (h Handle) Cancelled() bool { return !h.live() }
 
 // Cancel prevents the event from firing. Cancelling an event that already
-// fired or was cancelled is a no-op.
-func (ev *Event) Cancel() {
-	if ev == nil || ev.fn == nil {
+// fired, was cancelled, or whose slot has since been reused is a no-op.
+func (h Handle) Cancel() {
+	if !h.live() {
 		return
 	}
-	ev.fn = nil
+	ev := h.ev
 	if ev.index >= 0 {
 		heap.Remove(&ev.engine.events, ev.index)
 	}
+	ev.engine.recycle(ev)
 }
 
-type eventHeap []*Event
+type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -44,7 +87,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].index = j
 }
 func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
+	ev := x.(*event)
 	ev.index = len(*h)
 	*h = append(*h, ev)
 }
@@ -63,10 +106,12 @@ func (h *eventHeap) Pop() any {
 type Engine struct {
 	now        Time
 	events     eventHeap
+	free       []*event // recycled slots, reused by At/After
 	seq        uint64
 	stopped    bool
 	fired      uint64
 	maxPending int
+	allocated  uint64 // event slots ever allocated (pool high-water mark)
 }
 
 // New returns an engine with the clock at zero and no pending events.
@@ -85,48 +130,109 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // how bursty the model's scheduling is.
 func (e *Engine) MaxPending() int { return e.maxPending }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it always indicates a model bug.
-func (e *Engine) At(t Time, fn func()) *Event {
+// EventSlots returns how many event structs the engine ever allocated.
+// In an allocation-free steady state this stops growing: it equals the
+// peak number of simultaneously pending events, not the number fired.
+func (e *Engine) EventSlots() uint64 { return e.allocated }
+
+// acquire returns a free event slot, allocating only when the free list
+// is empty (cold start or a new pending high-water mark).
+func (e *Engine) acquire() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	e.allocated++
+	return &event{engine: e}
+}
+
+// recycle clears a slot and returns it to the free list. The generation
+// bump invalidates every outstanding Handle to the old event.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cb = nil
+	ev.a = nil
+	ev.b = nil
+	ev.index = -1
+	e.free = append(e.free, ev)
+}
+
+// schedule inserts an acquired, filled slot into the heap.
+func (e *Engine) schedule(ev *event, t Time) Handle {
 	if t < e.now {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn, engine: e}
+	ev.at = t
+	ev.seq = e.seq
 	heap.Push(&e.events, ev)
 	if len(e.events) > e.maxPending {
 		e.maxPending = len(e.events)
 	}
-	return ev
+	return Handle{ev: ev, gen: ev.gen}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past panics: it always indicates a model bug.
+func (e *Engine) At(t Time, fn func()) Handle {
+	ev := e.acquire()
+	ev.fn = fn
+	return e.schedule(ev, t)
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) Handle {
 	if d < 0 {
 		d = 0
 	}
 	return e.At(e.now+d, fn)
 }
 
+// AtCall schedules cb(a, b) at absolute virtual time t without allocating:
+// the event slot comes from the engine pool and cb is expected to be a
+// package-level func (a closure would re-introduce the allocation this
+// path exists to avoid). Pointer arguments do not allocate when boxed;
+// avoid passing non-pointer values.
+func (e *Engine) AtCall(t Time, cb Callback, a, b any) Handle {
+	ev := e.acquire()
+	ev.cb = cb
+	ev.a = a
+	ev.b = b
+	return e.schedule(ev, t)
+}
+
+// AfterCall schedules cb(a, b) d nanoseconds from now. See AtCall.
+func (e *Engine) AfterCall(d Time, cb Callback, a, b any) Handle {
+	if d < 0 {
+		d = 0
+	}
+	return e.AtCall(e.now+d, cb, a, b)
+}
+
 // Stop makes Run and RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
 // Step executes the single earliest pending event. It reports whether an
-// event was executed.
+// event was executed. The slot is recycled before the callback runs, so
+// callbacks scheduling new events reuse it immediately.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.fn == nil {
-			continue // cancelled after pop ordering; skip
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.fired++
-		fn()
-		return true
+	if len(e.events) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	fn, cb, a, b := ev.fn, ev.cb, ev.a, ev.b
+	e.recycle(ev)
+	e.fired++
+	if cb != nil {
+		cb(a, b)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -152,11 +258,15 @@ func (e *Engine) RunUntil(end Time) {
 }
 
 // Ticker invokes fn every period, starting at now+period, until cancelled.
+// Each tick's event slot comes from (and returns to) the engine pool, and
+// the rescheduling closure is built once, so a running ticker does not
+// allocate.
 type Ticker struct {
 	engine *Engine
 	period Time
 	fn     func()
-	ev     *Event
+	run    func()
+	ev     Handle
 	done   bool
 }
 
@@ -166,12 +276,7 @@ func (e *Engine) NewTicker(period Time, fn func()) *Ticker {
 		panic("sim: ticker period must be positive")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.schedule()
-	return t
-}
-
-func (t *Ticker) schedule() {
-	t.ev = t.engine.After(t.period, func() {
+	t.run = func() {
 		if t.done {
 			return
 		}
@@ -179,7 +284,13 @@ func (t *Ticker) schedule() {
 		if !t.done {
 			t.schedule()
 		}
-	})
+	}
+	t.schedule()
+	return t
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.engine.After(t.period, t.run)
 }
 
 // Stop cancels the ticker.

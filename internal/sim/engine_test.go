@@ -258,7 +258,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 	f := func(raw []uint16, mask uint64) bool {
 		e := New()
 		fired := 0
-		var events []*Event
+		var events []Handle
 		for _, r := range raw {
 			events = append(events, e.At(Time(r), func() { fired++ }))
 		}
@@ -275,6 +275,112 @@ func TestCancelSubsetProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
 	}
+}
+
+// --- event-slot recycling (the zero-allocation hot path) ---
+
+// TestEventSlotsReused pins the pooling contract: a long run whose
+// pending set stays small allocates only a handful of event slots.
+func TestEventSlotsReused(t *testing.T) {
+	e := New()
+	count := 0
+	var loop func()
+	loop = func() {
+		count++
+		if count < 10000 {
+			e.After(10, loop)
+		}
+	}
+	e.After(10, loop)
+	e.Run()
+	if count != 10000 {
+		t.Fatalf("fired %d events, want 10000", count)
+	}
+	if e.EventSlots() > 4 {
+		t.Errorf("allocated %d event slots for a 1-pending workload, want <= 4", e.EventSlots())
+	}
+}
+
+// TestStaleHandleCancelIsInert is the generation-counter guarantee: a
+// Handle kept across its event's firing must not cancel the unrelated
+// event that later reuses the slot.
+func TestStaleHandleCancelIsInert(t *testing.T) {
+	e := New()
+	h1 := e.At(10, func() {})
+	e.Run()
+	if !h1.Cancelled() {
+		t.Fatal("fired event's handle not Cancelled")
+	}
+	fired := false
+	h2 := e.At(20, func() { fired = true }) // reuses h1's slot
+	h1.Cancel()                            // stale: must be a no-op
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed the slot's new occupant")
+	}
+	if h2.Cancelled() != true { // fired by now
+		t.Fatal("fired handle should report Cancelled")
+	}
+}
+
+// TestZeroHandle: the zero Handle behaves like an already-cancelled event.
+func TestZeroHandle(t *testing.T) {
+	var h Handle
+	if !h.Cancelled() {
+		t.Error("zero Handle not Cancelled")
+	}
+	h.Cancel() // must not panic
+	if h.At() != 0 {
+		t.Error("zero Handle At != 0")
+	}
+}
+
+// TestCancelRecyclesSlot: a cancelled event's slot is immediately
+// reusable and the cancelling handle stays inert afterwards.
+func TestCancelRecyclesSlot(t *testing.T) {
+	e := New()
+	h := e.At(10, func() { t.Fatal("cancelled event fired") })
+	h.Cancel()
+	fired := false
+	e.At(5, func() { fired = true })
+	h.Cancel() // stale again, after the slot was reused
+	e.Run()
+	if !fired {
+		t.Fatal("event scheduled into recycled slot did not fire")
+	}
+	if e.EventSlots() != 1 {
+		t.Errorf("allocated %d slots, want 1 (cancel must recycle)", e.EventSlots())
+	}
+}
+
+// TestAtCallZeroAlloc holds the hot path's core promise: scheduling and
+// firing pooled callback events allocates nothing in steady state.
+func TestAtCallZeroAlloc(t *testing.T) {
+	e := New()
+	cb := Callback(func(a, b any) {})
+	// Warm the pool.
+	e.AfterCall(1, cb, e, nil)
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.AfterCall(1, cb, e, nil)
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("AfterCall+Step allocated %.1f per op, want 0", allocs)
+	}
+}
+
+// TestTickerSteadyStateAllocs: a running ticker must not allocate per
+// tick (the rescheduling closure is built once).
+func TestTickerSteadyStateAllocs(t *testing.T) {
+	e := New()
+	tk := e.NewTicker(10, func() {})
+	e.RunUntil(100) // warm up
+	allocs := testing.AllocsPerRun(500, func() { e.Step() })
+	if allocs != 0 {
+		t.Errorf("ticker allocated %.1f per tick, want 0", allocs)
+	}
+	tk.Stop()
 }
 
 func TestRandDeterminism(t *testing.T) {

@@ -11,7 +11,7 @@ type Poisson struct {
 	cdf    *CDF
 	mean   sim.Time // mean inter-arrival time
 	start  func(size int)
-	ev     *sim.Event
+	ev     sim.Handle
 	done   bool
 
 	Started int
@@ -43,20 +43,23 @@ func NewPoisson(engine *sim.Engine, rand *sim.Rand, cdf *CDF, flowsPerSec float6
 
 func (p *Poisson) schedule() {
 	gap := p.rand.ExpTime(p.mean)
-	p.ev = p.engine.After(gap, func() {
-		if p.done {
-			return
-		}
-		p.Started++
-		p.start(p.cdf.Sample(p.rand))
-		p.schedule()
-	})
+	p.ev = p.engine.AfterCall(gap, poissonArrive, p, nil)
+}
+
+// poissonArrive fires one flow arrival and re-arms; a package-level
+// callback so the arrival process does not allocate a closure per flow.
+func poissonArrive(a, _ any) {
+	p := a.(*Poisson)
+	if p.done {
+		return
+	}
+	p.Started++
+	p.start(p.cdf.Sample(p.rand))
+	p.schedule()
 }
 
 // Stop halts the arrival process.
 func (p *Poisson) Stop() {
 	p.done = true
-	if p.ev != nil {
-		p.ev.Cancel()
-	}
+	p.ev.Cancel()
 }
