@@ -6,8 +6,8 @@
 //	roccsim [flags] [experiment]
 //
 // Experiments: fig5 fig6 fig7a fig7b fig8 fig9 fig11 fig12a fig12b fig13
-// fig14 fig15 fig16 table3 fig17 fig18 fig19 fig20 qos table1 faults soak
-// all (default fig8)
+// fig14 fig15 fig16 table3 fig17 fig18 fig19 fig20 qos table1 faults
+// rollout soak all (default fig8)
 //
 // Flags:
 //
@@ -34,11 +34,14 @@
 //	-memprofile  write an allocation profile taken after the run
 //	-cnp-loss  faults: CNP loss probability (-1 = sweep 5/10/20%)
 //	-link-flap faults: link-flap period (0 = default 5 ms, down 10% of it)
+//	-mix       rollout: protocol mix for a single run, e.g.
+//	           rocc:0.5,dcqcn:0.5 (empty = RoCC-fraction sweep)
 //	-count     soak: number of scenarios (0 = until -budget, or 100)
 //	-budget    soak: wall-clock budget for the campaign (0 = unlimited)
 //	-soak-out  soak: directory for minimized repros (config JSON + trace)
 //	-shrink    soak: delta-debug failing scenarios (default true)
 //	-fault-scale soak: fault intensity (1 = default mix, 0 = clean)
+//	-mix-prob  soak: probability a scenario mixes two protocols (default 0.25)
 package main
 
 import (
@@ -138,7 +141,7 @@ func emitBins(name, protocol string, bins []stats.BinStat) {
 func main() {
 	flag.Parse()
 	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|soak|all]")
+		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|rollout|soak|all]")
 		os.Exit(2)
 	}
 	name := "fig8" // the canonical single-bottleneck experiment
@@ -306,6 +309,8 @@ func run(name string) {
 		runTable1()
 	case "faults":
 		runFaultsExp()
+	case "rollout":
+		runRollout()
 	case "soak":
 		runSoak()
 	default:

@@ -15,17 +15,18 @@ var (
 	soakOutFlag = flag.String("soak-out", "", "soak: directory for minimized repros (config JSON + Chrome trace)")
 	shrinkFlag  = flag.Bool("shrink", true, "soak: minimize failing scenarios with delta debugging")
 	faultFlag   = flag.Float64("fault-scale", 1, "soak: fault intensity (1 = default mix, 0 = clean scenarios)")
+	mixProbFlag = flag.Float64("mix-prob", 0.25, "soak: probability a scenario mixes two protocols on one fabric")
 )
 
 // runSoak drives the chaos subsystem: generate scenarios from the
 // campaign seed, run each under the invariant monitors on the worker
 // pool, and shrink + persist any failures.
 func runSoak() {
-	gen := chaos.GenOptions{FaultScale: *faultFlag}
+	gen := chaos.GenOptions{FaultScale: *faultFlag, MixProb: *mixProbFlag}
 	if *faultFlag == 0 {
 		gen.FaultScale = -1 // explicit clean mode (0 means "default" in GenOptions)
 	}
-	fmt.Printf("soak: randomized chaos scenarios (seed %d, fault scale %g)\n", *seedFlag, *faultFlag)
+	fmt.Printf("soak: randomized chaos scenarios (seed %d, fault scale %g, mix prob %g)\n", *seedFlag, *faultFlag, *mixProbFlag)
 	opts := chaos.SoakOptions{
 		Seed:    *seedFlag,
 		Count:   *countFlag,
@@ -44,13 +45,14 @@ func runSoak() {
 					float64(v.Result.Violations[0].AtNs)/1e6,
 					v.Result.Violations[0].Detail)
 			}
-			fmt.Printf("  #%-4d seed=%-6d %-9s %-16s flows=%-3d faults=%-2d %s\n",
-				v.Index, v.Seed, v.Protocol, v.Topology, v.Flows, v.Faults, status)
+			fmt.Printf("  #%-4d seed=%-6d %-14s %-16s flows=%-3d faults=%-2d %s\n",
+				v.Index, v.Seed, v.ProtocolLabel(), v.Topology, v.Flows, v.Faults, status)
 		},
 	}
 	start := time.Now()
 	rep := chaos.Soak(opts)
-	fmt.Printf("soak: %d scenarios, %d failures (%v)\n", rep.Scenarios, rep.Failures, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("soak: %d scenarios (%d mixed-protocol), %d failures (%v)\n",
+		rep.Scenarios, rep.Mixed, rep.Failures, time.Since(start).Round(time.Millisecond))
 	for _, r := range rep.Repros {
 		o, m := r.Shrink.Original, r.Shrink.Minimized
 		fmt.Printf("  repro seed=%d invariant=%s: %d flows/%d faults -> %d flows/%d faults in %d runs",

@@ -33,6 +33,14 @@ type GenOptions struct {
 	// MinDuration/MaxDuration bound the scenario length. Defaults 4 ms
 	// and 10 ms.
 	MinDuration, MaxDuration sim.Time
+
+	// MixProb is the probability a scenario mixes a second protocol into
+	// the fabric, reassigning a random subset of its flows (the
+	// incremental-rollout scenario class). Zero disables mixing; 1 makes
+	// every scenario attempt it. The mix overlay draws from its own
+	// derived RNG stream, so a given (seed, options) pair generates the
+	// same base scenario whether or not mixing is enabled.
+	MixProb float64
 }
 
 func (o GenOptions) withDefaults() GenOptions {
@@ -83,7 +91,47 @@ func Generate(seed int64, opts GenOptions) Scenario {
 	if o.FaultScale > 0 {
 		sc.Faults = genFaults(r, sc.Topology, dur, o)
 	}
+	mixProtocols(seed, o, &sc)
 	return sc
+}
+
+// mixSeedSalt decorrelates the protocol-mix overlay from the base
+// scenario stream: mixing must not perturb the topology, flows or faults
+// a seed has always generated (the replayability contract the shrinker
+// and the calibration tests pin).
+const mixSeedSalt = 0x6d69780a // "mix\n"
+
+// mixProtocols overlays a second protocol onto a random subset of the
+// scenario's flows with probability MixProb, from its own derived RNG
+// stream. Each reassigned flow carries its protocol explicitly, so the
+// shrinker minimizes mixed scenarios like any other.
+func mixProtocols(seed int64, o GenOptions, sc *Scenario) {
+	if o.MixProb <= 0 || len(o.Protocols) < 2 {
+		return
+	}
+	r := sim.NewRand(seed ^ mixSeedSalt)
+	if r.Float64() >= o.MixProb {
+		return
+	}
+	var others []experiments.Protocol
+	for _, p := range o.Protocols {
+		if string(p) != sc.Protocol {
+			others = append(others, p)
+		}
+	}
+	if len(others) == 0 || len(sc.Flows) < 2 {
+		return
+	}
+	second := others[r.Intn(len(others))]
+	// Reassign each flow with p=1/2, but force at least one flow onto
+	// each protocol so a "mixed" scenario always is one.
+	sc.Flows[0].Protocol = ""
+	sc.Flows[len(sc.Flows)-1].Protocol = string(second)
+	for i := 1; i < len(sc.Flows)-1; i++ {
+		if r.Intn(2) == 1 {
+			sc.Flows[i].Protocol = string(second)
+		}
+	}
 }
 
 func genTopology(r *sim.Rand, kind string) TopologySpec {

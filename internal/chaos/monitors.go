@@ -292,12 +292,16 @@ func checkPacketAccountingFinal(rt *Runtime, _ RunOptions) (string, bool) {
 // applied only where it is well-posed: a clean star run whose persistent
 // flows all share the one bottleneck. Jain's index over second-half
 // throughput must clear a deliberately loose floor — the monitor is for
-// catastrophic starvation, not protocol ranking.
+// catastrophic starvation, not protocol ranking. In mixed-protocol
+// scenarios the index is computed within each protocol group separately:
+// convergence to a fair share is a promise each scheme makes among its
+// own flows, while the inter-protocol split is precisely what rollout
+// experiments measure and no scheme guarantees.
 func checkFairness(rt *Runtime, o RunOptions) (string, bool) {
 	if len(rt.Scenario.Faults) > 0 || rt.Scenario.Topology.Kind != TopoStar {
 		return "", false
 	}
-	var xs []float64
+	groups := make(map[string][]float64)
 	for i, fs := range rt.Scenario.Flows {
 		if fs.SizeBytes != -1 || rt.Flows[i] == nil || rt.midBytes == nil {
 			continue
@@ -306,22 +310,25 @@ func checkFairness(rt *Runtime, o RunOptions) (string, bool) {
 		if fs.StartNs > rt.Scenario.DurationNs/2 {
 			continue
 		}
-		xs = append(xs, float64(rt.Flows[i].DeliveredBytes()-rt.midBytes[i]))
+		proto := string(rt.Scenario.FlowProtocol(i))
+		groups[proto] = append(groups[proto], float64(rt.Flows[i].DeliveredBytes()-rt.midBytes[i]))
 	}
-	if len(xs) < 2 {
-		return "", false
-	}
-	var sum, sumSq float64
-	for _, x := range xs {
-		sum += x
-		sumSq += x * x
-	}
-	if sumSq == 0 {
-		return fmt.Sprintf("%d persistent flows delivered nothing in the second half", len(xs)), true
-	}
-	jain := sum * sum / (float64(len(xs)) * sumSq)
-	if jain < o.MinJain {
-		return fmt.Sprintf("Jain index %.3f below floor %.3f over %d flows", jain, o.MinJain, len(xs)), true
+	for proto, xs := range groups {
+		if len(xs) < 2 {
+			continue
+		}
+		var sum, sumSq float64
+		for _, x := range xs {
+			sum += x
+			sumSq += x * x
+		}
+		if sumSq == 0 {
+			return fmt.Sprintf("%d persistent %s flows delivered nothing in the second half", len(xs), proto), true
+		}
+		jain := sum * sum / (float64(len(xs)) * sumSq)
+		if jain < o.MinJain {
+			return fmt.Sprintf("%s Jain index %.3f below floor %.3f over %d flows", proto, jain, o.MinJain, len(xs)), true
+		}
 	}
 	return "", false
 }

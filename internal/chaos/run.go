@@ -121,14 +121,18 @@ func Run(sc Scenario, opts RunOptions) (Result, error) {
 		net.SetTelemetry(o.Telemetry.Registry, o.Telemetry.Recorder)
 	}
 
-	proto, _ := experiments.ParseProtocol(sc.Protocol)
-	stack := experiments.NewStack(net, proto, 0)
+	protos := sc.Protocols()
+	mix := experiments.NewMix(net, 0)
 	// Faulted runs lose CNPs; give RoCC flows the paper's staleness
 	// re-homing so feedback loss degrades instead of wedging.
-	stack.RoCCRP.StaleK = core.DefaultStaleK
-	stack.EnableAllSwitchPorts()
+	mix.RoCCRP.StaleK = core.DefaultStaleK
+	for _, p := range protos {
+		mix.Activate(p)
+	}
+	stack := mix.Use(protos[0])
+	mix.EnableAllSwitchPorts()
 	for _, h := range net.Hosts() {
-		stack.AttachReceiver(h)
+		mix.AttachReceivers(h)
 	}
 
 	rt := &Runtime{
@@ -154,7 +158,7 @@ func Run(sc Scenario, opts RunOptions) (Result, error) {
 			if fs.MaxRateMbps > 0 {
 				rateCap = netsim.Mbps(fs.MaxRateMbps)
 			}
-			f := stack.StartCustomFlow(src, dst, fs.SizeBytes, rateCap, fs.Reliable)
+			f := mix.StartCustomFlow(sc.FlowProtocol(i), src, dst, fs.SizeBytes, rateCap, fs.Reliable)
 			rt.Flows[i] = f
 			if cc, ok := f.CC.(*roccnet.FlowCC); ok {
 				rt.RoCCRPs = append(rt.RoCCRPs, cc.RP())

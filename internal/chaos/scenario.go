@@ -68,6 +68,11 @@ type FlowSpec struct {
 	MaxRateMbps float64 `json:"max_rate_mbps,omitempty"` // 0 = line rate
 	StartNs     int64   `json:"start_ns"`
 	Reliable    bool    `json:"reliable,omitempty"`
+
+	// Protocol, when non-empty, runs this flow under a different scheme
+	// than Scenario.Protocol — the mixed-fabric (incremental rollout)
+	// scenario class. Empty inherits the scenario protocol.
+	Protocol string `json:"protocol,omitempty"`
 }
 
 // FaultSpec is one fault-schedule entry. Link and Switch index into the
@@ -112,6 +117,39 @@ type Scenario struct {
 
 // Duration returns the scenario length in engine time.
 func (sc Scenario) Duration() sim.Time { return sim.Time(sc.DurationNs) }
+
+// FlowProtocol resolves flow i's protocol: its own override when set,
+// the scenario protocol otherwise. Call only on validated scenarios.
+func (sc Scenario) FlowProtocol(i int) experiments.Protocol {
+	if name := sc.Flows[i].Protocol; name != "" {
+		p, _ := experiments.ParseProtocol(name)
+		return p
+	}
+	p, _ := experiments.ParseProtocol(sc.Protocol)
+	return p
+}
+
+// Protocols returns the distinct protocols the scenario runs, primary
+// first and then per-flow overrides in first-appearance order.
+func (sc Scenario) Protocols() []experiments.Protocol {
+	primary, _ := experiments.ParseProtocol(sc.Protocol)
+	out := []experiments.Protocol{primary}
+	seen := map[experiments.Protocol]bool{primary: true}
+	for i := range sc.Flows {
+		if sc.Flows[i].Protocol == "" {
+			continue
+		}
+		p := sc.FlowProtocol(i)
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Mixed reports whether two or more protocols share the fabric.
+func (sc Scenario) Mixed() bool { return len(sc.Protocols()) > 1 }
 
 // hostCount returns how many hosts the topology will create.
 func (t TopologySpec) hostCount() int {
@@ -201,6 +239,11 @@ func (sc Scenario) Validate() error {
 		}
 		if f.MaxRateMbps < 0 {
 			return fmt.Errorf("chaos: flow %d has negative rate cap", i)
+		}
+		if f.Protocol != "" {
+			if _, err := experiments.ParseProtocol(f.Protocol); err != nil {
+				return fmt.Errorf("chaos: flow %d: %w", i, err)
+			}
 		}
 	}
 	links, switches := sc.Topology.linkCount(), sc.Topology.switchCount()

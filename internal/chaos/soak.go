@@ -74,11 +74,27 @@ type Verdict struct {
 	Index    int    `json:"index"`
 	Seed     int64  `json:"seed"`
 	Protocol string `json:"protocol"`
-	Topology string `json:"topology"`
-	Flows    int    `json:"flows"`
-	Faults   int    `json:"faults"`
-	Result   Result `json:"result"`
-	Err      string `json:"err,omitempty"`
+	// Protocols lists every protocol sharing the fabric when the
+	// scenario is mixed (primary first); empty for single-protocol runs.
+	Protocols []string `json:"protocols,omitempty"`
+	Topology  string   `json:"topology"`
+	Flows     int      `json:"flows"`
+	Faults    int      `json:"faults"`
+	Result    Result   `json:"result"`
+	Err       string   `json:"err,omitempty"`
+}
+
+// ProtocolLabel names the scenario's protocol set: the primary protocol,
+// or a +-joined list for mixed fabrics.
+func (v Verdict) ProtocolLabel() string {
+	if len(v.Protocols) > 1 {
+		label := v.Protocols[0]
+		for _, p := range v.Protocols[1:] {
+			label += "+" + p
+		}
+		return label
+	}
+	return v.Protocol
 }
 
 // Failed reports whether the scenario tripped any invariant or errored.
@@ -100,6 +116,7 @@ type Report struct {
 	Seed      int64
 	Scenarios int
 	Failures  int
+	Mixed     int // scenarios running ≥2 protocols on one fabric
 	Verdicts  []Verdict
 	Repros    []Repro
 }
@@ -144,6 +161,11 @@ func Soak(opts SoakOptions) Report {
 				Flows:    len(sc.Flows),
 				Faults:   len(sc.Faults),
 			}
+			if protos := sc.Protocols(); len(protos) > 1 {
+				for _, p := range protos {
+					v.Protocols = append(v.Protocols, string(p))
+				}
+			}
 			res, err := Run(sc, o.Run)
 			if err != nil {
 				v.Err = err.Error()
@@ -160,6 +182,9 @@ func Soak(opts SoakOptions) Report {
 			}
 			if v.Failed() {
 				rep.Failures++
+			}
+			if len(v.Protocols) > 1 {
+				rep.Mixed++
 			}
 			rep.Verdicts = append(rep.Verdicts, v)
 			if o.OnScenario != nil {

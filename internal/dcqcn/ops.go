@@ -1,0 +1,58 @@
+package dcqcn
+
+import (
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+// Ops is DCQCN's netsim.CongestionOps descriptor: RED-style markers on
+// switch egress ports, CNP-generating receivers, and the g/α rate
+// controller per flow. Config derives parameters from each element's
+// local link rate, so mixed-speed fabrics get correctly scaled marking
+// curves and rate steps.
+type Ops struct {
+	// Rand drives probabilistic marking; all markers built by this
+	// descriptor share it (one stream per fabric).
+	Rand *sim.Rand
+
+	// Config maps a link/NIC rate to DCQCN parameters. Nil selects
+	// DefaultConfig.
+	Config func(gbps float64) Config
+}
+
+func (o *Ops) config(gbps float64) Config {
+	if o.Config != nil {
+		return o.Config(gbps)
+	}
+	return DefaultConfig(gbps)
+}
+
+// Name implements netsim.CongestionOps.
+func (o *Ops) Name() string { return "DCQCN" }
+
+// Features implements netsim.CongestionOps.
+func (o *Ops) Features() netsim.CCFeatures {
+	return netsim.CCFeatures{UsesCNP: true, CNPClass: netsim.ClassCtrl}
+}
+
+// AttachPort implements netsim.CongestionOps.
+func (o *Ops) AttachPort(net *netsim.Network, sw *netsim.Switch, port *netsim.Port) netsim.PortCC {
+	return NewMarker(o.config(port.LinkRate.Gbps()), o.Rand)
+}
+
+// NewReceiver implements netsim.CongestionOps: at most one CNP per flow
+// per CNPInterval when marked packets arrive.
+func (o *Ops) NewReceiver(net *netsim.Network, h *netsim.Host) netsim.ReceiverHook {
+	return NewReceiver(o.config(h.NIC().LinkRate.Gbps()), h)
+}
+
+// NewFlowCC implements netsim.CongestionOps.
+func (o *Ops) NewFlowCC(net *netsim.Network, src *netsim.Host) netsim.FlowCC {
+	return NewFlowCC(net.Engine, src, o.config(src.NIC().LinkRate.Gbps()))
+}
+
+// AckEvery implements netsim.CongestionOps: DCQCN needs no flow ACKs.
+func (o *Ops) AckEvery(src *netsim.Host) int { return 0 }
+
+// CCProtocol implements netsim.ProtocolNamer for conflict diagnostics.
+func (m *Marker) CCProtocol() string { return "DCQCN" }

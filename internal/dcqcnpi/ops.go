@@ -1,0 +1,69 @@
+package dcqcnpi
+
+import (
+	"rocc/internal/dcqcn"
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+// Ops is DCQCN+PI's netsim.CongestionOps descriptor: the PI marker on
+// switch egress ports with DCQCN's unchanged endpoints (receiver CNPs and
+// the g/α rate controller).
+type Ops struct {
+	// Rand drives probabilistic marking; shared across this fabric's
+	// markers.
+	Rand *sim.Rand
+
+	// Config maps a port link rate to PI marker parameters. Nil selects
+	// DefaultConfig.
+	Config func(gbps float64) Config
+
+	// Endpoint maps a NIC rate to the DCQCN endpoint parameters. Nil
+	// selects DefaultEndpoint.
+	Endpoint func(gbps float64) dcqcn.Config
+}
+
+func (o *Ops) config(gbps float64) Config {
+	if o.Config != nil {
+		return o.Config(gbps)
+	}
+	return DefaultConfig(gbps)
+}
+
+func (o *Ops) endpoint(gbps float64) dcqcn.Config {
+	if o.Endpoint != nil {
+		return o.Endpoint(gbps)
+	}
+	return DefaultEndpoint(gbps)
+}
+
+// Name implements netsim.CongestionOps.
+func (o *Ops) Name() string { return "DCQCN+PI" }
+
+// Features implements netsim.CongestionOps.
+func (o *Ops) Features() netsim.CCFeatures {
+	return netsim.CCFeatures{UsesCNP: true, CNPClass: netsim.ClassCtrl}
+}
+
+// AttachPort implements netsim.CongestionOps: install the PI marker and
+// start its probability-update timer.
+func (o *Ops) AttachPort(net *netsim.Network, sw *netsim.Switch, port *netsim.Port) netsim.PortCC {
+	return Attach(net, port, o.config(port.LinkRate.Gbps()), o.Rand)
+}
+
+// NewReceiver implements netsim.CongestionOps: DCQCN's receiver,
+// unchanged.
+func (o *Ops) NewReceiver(net *netsim.Network, h *netsim.Host) netsim.ReceiverHook {
+	return dcqcn.NewReceiver(o.endpoint(h.NIC().LinkRate.Gbps()), h)
+}
+
+// NewFlowCC implements netsim.CongestionOps: DCQCN's sender, unchanged.
+func (o *Ops) NewFlowCC(net *netsim.Network, src *netsim.Host) netsim.FlowCC {
+	return dcqcn.NewFlowCC(net.Engine, src, o.endpoint(src.NIC().LinkRate.Gbps()))
+}
+
+// AckEvery implements netsim.CongestionOps: no flow ACKs needed.
+func (o *Ops) AckEvery(src *netsim.Host) int { return 0 }
+
+// CCProtocol implements netsim.ProtocolNamer for conflict diagnostics.
+func (m *Marker) CCProtocol() string { return "DCQCN+PI" }

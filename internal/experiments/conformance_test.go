@@ -1,0 +1,418 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"rocc/internal/dcqcn"
+	"rocc/internal/hpcc"
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+	"rocc/internal/timely"
+	"rocc/internal/topology"
+)
+
+// TestOpsRegistryCoversAllProtocols is the registry half of the
+// CongestionOps conformance suite: every protocol the repo wires has a
+// descriptor whose static surface (name, features, ACK cadence) is sane.
+func TestOpsRegistryCoversAllProtocols(t *testing.T) {
+	engine := sim.New()
+	star := topology.BuildStar(engine, 1, 2, netsim.Gbps(40))
+	mix := NewMix(star.Net, 0)
+	for _, p := range AllProtocols() {
+		ops := mix.Ops(p)
+		if ops == nil {
+			t.Fatalf("%s: no descriptor", p)
+		}
+		if ops.Name() == "" {
+			t.Errorf("%s: empty Name", p)
+		}
+		f := ops.Features()
+		if f.INTHops < 0 || f.ExtraHeaderBytes < 0 {
+			t.Errorf("%s: negative feature capacity %+v", p, f)
+		}
+		if f.INTHops > 0 && p != ProtoHPCC {
+			t.Errorf("%s: unexpected INT requirement", p)
+		}
+		if ae := ops.AckEvery(star.Sources[0]); ae < 0 {
+			t.Errorf("%s: negative AckEvery %d", p, ae)
+		}
+		if cc := ops.NewFlowCC(star.Net, star.Sources[0]); cc == nil {
+			t.Errorf("%s: NewFlowCC returned nil", p)
+		}
+	}
+}
+
+// TestOpsFlowCCContract drives each descriptor's fresh controller
+// through the FlowCC surface directly: a new flow must be allowed to
+// send, survive the OnSent/OnAck cycle, and report a non-negative rate.
+func TestOpsFlowCCContract(t *testing.T) {
+	for _, p := range AllProtocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			engine := sim.New()
+			star := topology.BuildStar(engine, 1, 2, netsim.Gbps(40))
+			mix := NewMix(star.Net, 0)
+			cc := mix.NewFlowCC(p, star.Sources[0])
+			at, ok := cc.Allow(0, 1000)
+			if !ok {
+				t.Fatal("fresh controller refuses the first packet")
+			}
+			if at < 0 {
+				t.Fatalf("negative eligible time %v", at)
+			}
+			pkt := star.Net.AcquirePacket()
+			pkt.Kind = netsim.KindData
+			pkt.Payload = 1000
+			cc.OnSent(0, pkt)
+			pkt.Kind = netsim.KindAck
+			cc.OnAck(sim.Microsecond, pkt)
+			star.Net.ReleasePacket(pkt)
+			if cc.CurrentRate() < 0 {
+				t.Errorf("negative rate %v", cc.CurrentRate())
+			}
+		})
+	}
+}
+
+// TestMixSingleProtocolMatchesStack pins the fast path: a Mix hosting
+// one protocol must produce exactly the results of the Stack API (which
+// is now a view over Mix — this guards the equivalence as both evolve).
+func TestMixSingleProtocolMatchesStack(t *testing.T) {
+	for _, p := range AllProtocols() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			run := func(useMix bool) ([]int64, int) {
+				engine := sim.New()
+				star := topology.BuildStar(engine, 3, 4, netsim.Gbps(40))
+				var flows []*netsim.Flow
+				if useMix {
+					mix := NewMix(star.Net, 0)
+					mix.Activate(p)
+					mix.EnableAllSwitchPorts()
+					mix.AttachReceivers()
+					for _, src := range star.Sources {
+						flows = append(flows, mix.StartFlow(p, src, star.Dst, 150_000, 0))
+					}
+				} else {
+					stack := NewStack(star.Net, p, 0)
+					stack.EnableAllSwitchPorts()
+					for _, h := range star.Net.Hosts() {
+						stack.AttachReceiver(h)
+					}
+					for _, src := range star.Sources {
+						flows = append(flows, stack.StartFlow(src, star.Dst, 150_000, 0))
+					}
+				}
+				engine.RunUntil(10 * sim.Millisecond)
+				var got []int64
+				for _, f := range flows {
+					got = append(got, f.DeliveredBytes())
+				}
+				return got, star.Net.TotalDrops()
+			}
+			stackBytes, stackDrops := run(false)
+			mixBytes, mixDrops := run(true)
+			for i := range stackBytes {
+				if stackBytes[i] != mixBytes[i] {
+					t.Errorf("flow %d: stack delivered %d, mix delivered %d", i, stackBytes[i], mixBytes[i])
+				}
+			}
+			if stackDrops != mixDrops {
+				t.Errorf("drops: stack %d, mix %d", stackDrops, mixDrops)
+			}
+		})
+	}
+}
+
+// TestMixedFabricEngagesBothMachineries is the tentpole's end-to-end
+// check: RoCC and DCQCN flows sharing one bottleneck, each seeing only
+// its own protocol's elements — RoCC's CP paces its flows via switch
+// CNPs while DCQCN's receiver echoes marks for the others.
+func TestMixedFabricEngagesBothMachineries(t *testing.T) {
+	engine := sim.New()
+	star := topology.BuildStar(engine, 1, 4, netsim.Gbps(40))
+	mix := NewMix(star.Net, 0)
+	mix.Activate(ProtoRoCC)
+	mix.Activate(ProtoDCQCN)
+	mix.EnableAllSwitchPorts()
+	mix.AttachReceivers()
+
+	var flows []*netsim.Flow
+	for i, src := range star.Sources {
+		p := ProtoRoCC
+		if i%2 == 1 {
+			p = ProtoDCQCN
+		}
+		flows = append(flows, mix.StartFlow(p, src, star.Dst, -1, netsim.Gbps(36)))
+	}
+	engine.RunUntil(20 * sim.Millisecond)
+
+	if name := netsim.CCProtocolName(star.Bottleneck.CC); !strings.Contains(name, "RoCC") || !strings.Contains(name, "DCQCN") {
+		t.Errorf("bottleneck attachment %q does not compose both protocols", name)
+	}
+	cp := mix.CPs[star.Bottleneck]
+	if cp == nil {
+		t.Fatal("RoCC CP missing from the mixed bottleneck")
+	}
+	if cp.CNPsSent == 0 {
+		t.Error("RoCC CP sent no CNPs — its machinery never engaged")
+	}
+	rs := mix.receivers[star.Dst]
+	if rs == nil {
+		t.Fatal("no receiver state at the destination")
+	}
+	var dcqcnCNPs uint64
+	for i, proto := range rs.protos {
+		if proto == ProtoDCQCN {
+			dcqcnCNPs = rs.hooks[i].(*dcqcn.Receiver).CNPsSent
+		}
+	}
+	if dcqcnCNPs == 0 {
+		t.Error("DCQCN receiver sent no CNPs — its machinery never engaged")
+	}
+	for i, f := range flows {
+		if f.DeliveredBytes() == 0 {
+			t.Errorf("flow %d (%s) delivered nothing", i, mix.FlowProtocol(f.ID))
+		}
+	}
+	if d := star.Net.TotalDrops(); d != 0 {
+		t.Errorf("%d drops on the mixed lossless fabric", d)
+	}
+}
+
+// TestMixedRunDeterministic replays the mixed-fabric workload under one
+// seed and requires byte-identical per-flow outcomes — the soak log's
+// replayability contract extended to mixed protocols.
+func TestMixedRunDeterministic(t *testing.T) {
+	run := func() []int64 {
+		engine := sim.New()
+		star := topology.BuildStar(engine, 7, 6, netsim.Gbps(40))
+		mix := NewMix(star.Net, 0)
+		mix.Activate(ProtoRoCC)
+		mix.Activate(ProtoHPCC)
+		mix.EnableAllSwitchPorts()
+		mix.AttachReceivers()
+		var flows []*netsim.Flow
+		for i, src := range star.Sources {
+			p := ProtoRoCC
+			if i%2 == 1 {
+				p = ProtoHPCC
+			}
+			flows = append(flows, mix.StartFlow(p, src, star.Dst, 400_000, 0))
+		}
+		engine.RunUntil(15 * sim.Millisecond)
+		var out []int64
+		for _, f := range flows {
+			out = append(out, f.DeliveredBytes())
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("flow %d: %d bytes vs %d on replay", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTimelyAckCadenceFollowsConfig pins the satellite bugfix: the flow
+// ACK cadence must come from the TIMELY configuration actually in use,
+// not a hardcoded default.
+func TestTimelyAckCadenceFollowsConfig(t *testing.T) {
+	engine := sim.New()
+	star := topology.BuildStar(engine, 1, 2, netsim.Gbps(40))
+	mix := NewMix(star.Net, 0)
+	mix.TimelyConfig = func(src *netsim.Host) timely.Config {
+		cfg := timely.DefaultConfig(src.NIC().LinkRate.Gbps())
+		cfg.AckEvery = 8
+		return cfg
+	}
+	stack := mix.Use(ProtoTIMELY)
+	if got := stack.AckEvery(star.Sources[0]); got != 8 {
+		t.Errorf("AckEvery = %d, want the configured 8", got)
+	}
+	f := stack.StartFlow(star.Sources[0], star.Dst, 10_000, 0)
+	if f.AckEvery != 8 {
+		t.Errorf("flow AckEvery = %d, want 8", f.AckEvery)
+	}
+}
+
+// TestEnablePortForeignAttachmentPanics pins the double-attach
+// satellite: a port owned by something outside the Mix is a named
+// conflict, never a silent overwrite.
+func TestEnablePortForeignAttachmentPanics(t *testing.T) {
+	engine := sim.New()
+	star := topology.BuildStar(engine, 1, 2, netsim.Gbps(40))
+	foreign := NewMix(star.Net, 0)
+	foreign.EnablePort(ProtoDCQCN, star.Bottleneck)
+
+	mix := NewMix(star.Net, 0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("enabling over a foreign attachment did not panic")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, "DCQCN") || !strings.Contains(msg, "RoCC") {
+			t.Errorf("panic %q does not name both protocols", msg)
+		}
+	}()
+	mix.EnablePort(ProtoRoCC, star.Bottleneck)
+}
+
+// TestEnablePortIdempotentPerProtocol pins the other half of the
+// satellite: re-enabling the same protocol must not stack a second
+// element (RoCC's CP runs a fair-rate ticker; stacking doubled it).
+func TestEnablePortIdempotentPerProtocol(t *testing.T) {
+	engine := sim.New()
+	star := topology.BuildStar(engine, 1, 2, netsim.Gbps(40))
+	mix := NewMix(star.Net, 0)
+	mix.EnablePort(ProtoRoCC, star.Bottleneck)
+	first := star.Bottleneck.CC
+	cp := mix.CPs[star.Bottleneck]
+	mix.EnablePort(ProtoRoCC, star.Bottleneck)
+	mix.EnableAllSwitchPorts()
+	if star.Bottleneck.CC != first {
+		t.Error("repeat EnablePort replaced the attachment")
+	}
+	if mix.CPs[star.Bottleneck] != cp {
+		t.Error("repeat EnablePort built a second CP")
+	}
+	if n := len(mix.ports[star.Bottleneck].protos); n != 1 {
+		t.Errorf("port records %d attachments, want 1", n)
+	}
+}
+
+// TestINTHopCapIsMaxOverMix pins the presizing satellite: HPCC joining a
+// fabric raises the INT capacity no matter which protocol activated
+// first, and non-INT mixes leave it at zero.
+func TestINTHopCapIsMaxOverMix(t *testing.T) {
+	engine := sim.New()
+	star := topology.BuildStar(engine, 1, 2, netsim.Gbps(40))
+	mix := NewMix(star.Net, 0)
+	mix.Activate(ProtoDCQCN)
+	if star.Net.INTHopCap != 0 {
+		t.Errorf("INTHopCap = %d before any INT protocol", star.Net.INTHopCap)
+	}
+	mix.Activate(ProtoHPCC)
+	if star.Net.INTHopCap != hpcc.DefaultINTHops {
+		t.Errorf("INTHopCap = %d after HPCC joined, want %d", star.Net.INTHopCap, hpcc.DefaultINTHops)
+	}
+	mix.Activate(ProtoRoCC)
+	if star.Net.INTHopCap != hpcc.DefaultINTHops {
+		t.Errorf("INTHopCap dropped to %d after a later activation", star.Net.INTHopCap)
+	}
+}
+
+// TestMixedSteadyStateAllocs is the alloc-gate regression for the INT
+// presizing fix: a mixed DCQCN+HPCC fabric in steady state must not
+// allocate per event — INT arrays come presized from the pool even
+// though HPCC was not the first (or only) protocol on the network.
+func TestMixedSteadyStateAllocs(t *testing.T) {
+	engine := sim.New()
+	star := topology.BuildStar(engine, 1, 4, netsim.Gbps(40))
+	mix := NewMix(star.Net, 0)
+	mix.Activate(ProtoDCQCN)
+	mix.Activate(ProtoHPCC)
+	mix.EnableAllSwitchPorts()
+	mix.AttachReceivers()
+	for i, src := range star.Sources {
+		p := ProtoDCQCN
+		if i%2 == 1 {
+			p = ProtoHPCC
+		}
+		mix.StartFlow(p, src, star.Dst, -1, 0)
+	}
+	for i := 0; i < 200_000; i++ {
+		engine.Step()
+	}
+	const batch = 1000
+	allocsPerBatch := testing.AllocsPerRun(50, func() {
+		for i := 0; i < batch; i++ {
+			engine.Step()
+		}
+	})
+	perEvent := allocsPerBatch / batch
+	t.Logf("mixed steady state: %.4f allocs/event", perEvent)
+	if perEvent > 1 {
+		t.Fatalf("mixed steady-state stepping allocates %.2f objects/event, want <=1 (target 0)", perEvent)
+	}
+}
+
+// TestRolloutProducesPerProtocolRows smoke-tests the rollout experiment:
+// a 50/50 RoCC/DCQCN fabric must report one row per protocol with live
+// goodput and completed FCT probes.
+func TestRolloutProducesPerProtocolRows(t *testing.T) {
+	rows := RunRollout(RolloutConfig{
+		Shares:       RoCCShares(0.5),
+		Seed:         1,
+		Duration:     8 * sim.Millisecond,
+		HostsPerEdge: 4,
+		FCTBytes:     200_000,
+	})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Flows != 2 {
+			t.Errorf("%s: %d flows, want 2", r.Proto, r.Flows)
+		}
+		if r.MeanGbps <= 0 {
+			t.Errorf("%s: no goodput", r.Proto)
+		}
+		if r.Jain <= 0 || r.Jain > 1 {
+			t.Errorf("%s: Jain %v out of range", r.Proto, r.Jain)
+		}
+		if r.FCTMeanMs <= 0 {
+			t.Errorf("%s: no FCT probes completed", r.Proto)
+		}
+	}
+}
+
+// TestParseMixSpec covers the CLI mix grammar.
+func TestParseMixSpec(t *testing.T) {
+	shares, err := ParseMixSpec("rocc:0.5, dcqcn:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 2 || shares[0].Proto != ProtoRoCC || shares[0].Frac != 0.5 {
+		t.Errorf("unexpected shares %+v", shares)
+	}
+	shares, err = ParseMixSpec("rocc:3,hpcc:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0].Frac != 0.75 || shares[1].Frac != 0.25 {
+		t.Errorf("fractions not normalized: %+v", shares)
+	}
+	if _, err := ParseMixSpec("rocc:0.5,rocc:0.5"); err == nil {
+		t.Error("duplicate protocol accepted")
+	}
+	if _, err := ParseMixSpec("nosuch:1"); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if _, err := ParseMixSpec(""); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := ParseMixSpec("rocc:0,dcqcn:0"); err == nil {
+		t.Error("all-zero fractions accepted")
+	}
+}
+
+// TestAssignShares pins the deterministic slot split.
+func TestAssignShares(t *testing.T) {
+	got := AssignShares([]MixShare{{ProtoRoCC, 0.25}, {ProtoDCQCN, 0.75}}, 8)
+	want := []Protocol{ProtoRoCC, ProtoRoCC, ProtoDCQCN, ProtoDCQCN, ProtoDCQCN, ProtoDCQCN, ProtoDCQCN, ProtoDCQCN}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d = %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	// Every slot is assigned even under rounding pressure.
+	for _, p := range AssignShares([]MixShare{{ProtoRoCC, 1.0 / 3}, {ProtoDCQCN, 1.0 / 3}, {ProtoHPCC, 1.0 / 3}}, 7) {
+		if p == "" {
+			t.Fatal("unassigned slot")
+		}
+	}
+}

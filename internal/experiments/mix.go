@@ -1,0 +1,474 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rocc/internal/dcqcn"
+	"rocc/internal/dcqcnpi"
+	"rocc/internal/dctcp"
+	"rocc/internal/hpcc"
+	"rocc/internal/netsim"
+	"rocc/internal/qcn"
+	"rocc/internal/roccnet"
+	"rocc/internal/sim"
+	"rocc/internal/timely"
+)
+
+// OpsFactory builds a protocol's CongestionOps descriptor bound to a
+// Mix's live options (base RTT, shared marking RNG, RoCC ablation hooks).
+type OpsFactory func(m *Mix) netsim.CongestionOps
+
+// opsRegistry maps every protocol the repo wires to its descriptor
+// factory. RegisterOps extends it (external protocols, test doubles).
+var opsRegistry = map[Protocol]OpsFactory{
+	ProtoRoCC: func(m *Mix) netsim.CongestionOps {
+		o := roccnet.NewOps(&m.RoCCOpts, &m.RoCCRP)
+		o.CPs = m.CPs
+		return o
+	},
+	ProtoDCQCN: func(m *Mix) netsim.CongestionOps {
+		return &dcqcn.Ops{Rand: m.rand}
+	},
+	ProtoDCQCNPI: func(m *Mix) netsim.CongestionOps {
+		return &dcqcnpi.Ops{Rand: m.rand}
+	},
+	ProtoHPCC: func(m *Mix) netsim.CongestionOps {
+		return &hpcc.Ops{BaseRTT: m.BaseRTT}
+	},
+	ProtoTIMELY: func(m *Mix) netsim.CongestionOps {
+		return &timely.Ops{Config: m.timelyConfig}
+	},
+	ProtoQCN: func(m *Mix) netsim.CongestionOps {
+		return &qcn.Ops{}
+	},
+	ProtoDCTCP: func(m *Mix) netsim.CongestionOps {
+		return &dctcp.Ops{BaseRTT: m.BaseRTT}
+	},
+}
+
+// RegisterOps installs (or replaces) a protocol's descriptor factory.
+func RegisterOps(p Protocol, f OpsFactory) { opsRegistry[p] = f }
+
+// Mix composes congestion control for a whole fabric, protocol by
+// protocol: it instantiates one CongestionOps descriptor per protocol in
+// play, attaches the union of their switch and receiver elements, sizes
+// packet-feature capacities (Network.INTHopCap) to the max over the set,
+// and hands each flow its own controller. A port or host shared by a
+// single protocol keeps that protocol's element installed directly — the
+// pre-mix fast path, byte-identical to a single-protocol Stack — while
+// sharing by two or more protocols inserts a per-flow demultiplexer.
+type Mix struct {
+	Engine  *sim.Engine
+	Net     *netsim.Network
+	BaseRTT sim.Time // HPCC's T parameter; also used for DCTCP scaling
+
+	rand *sim.Rand
+
+	// RoCCOpts overrides the default RoCC CP options (ablation hooks).
+	RoCCOpts roccnet.CPOptions
+	// RoCCRP overrides the default RoCC RP options.
+	RoCCRP roccnet.RPOptions
+	// TimelyConfig, when set, overrides TIMELY's per-source parameters
+	// (and with them the flow ACK cadence).
+	TimelyConfig func(src *netsim.Host) timely.Config
+
+	// CPs collects attached RoCC congestion points for instrumentation.
+	CPs map[*netsim.Port]*roccnet.CP
+
+	ops       map[Protocol]netsim.CongestionOps
+	active    []Protocol // instantiation order; the EnableAllSwitchPorts sweep order
+	ports     map[*netsim.Port]*portState
+	receivers map[*netsim.Host]*receiverState
+	flows     map[netsim.FlowID]netsim.CongestionOps
+}
+
+// NewMix builds an empty composer for the network. baseRTT parameterizes
+// window-based protocols; zero uses a 10 µs default.
+func NewMix(net *netsim.Network, baseRTT sim.Time) *Mix {
+	if baseRTT == 0 {
+		baseRTT = 10 * sim.Microsecond
+	}
+	m := &Mix{
+		Engine:    net.Engine,
+		Net:       net,
+		BaseRTT:   baseRTT,
+		rand:      net.Rand.Split(),
+		CPs:       make(map[*netsim.Port]*roccnet.CP),
+		ops:       make(map[Protocol]netsim.CongestionOps),
+		ports:     make(map[*netsim.Port]*portState),
+		receivers: make(map[*netsim.Host]*receiverState),
+		flows:     make(map[netsim.FlowID]netsim.CongestionOps),
+	}
+	prev := net.OnFlowRemoved
+	net.OnFlowRemoved = func(f *netsim.Flow) {
+		delete(m.flows, f.ID)
+		if prev != nil {
+			prev(f)
+		}
+	}
+	return m
+}
+
+// timelyConfig adapts the Mix-level override to the descriptor's shape.
+func (m *Mix) timelyConfig(src *netsim.Host) timely.Config {
+	if m.TimelyConfig != nil {
+		return m.TimelyConfig(src)
+	}
+	return timely.DefaultConfig(src.NIC().LinkRate.Gbps())
+}
+
+// Ops returns the protocol's descriptor, instantiating it on first use.
+// Instantiation raises the network's packet-feature capacities to the max
+// over the protocols in play — so HPCC joining a fabric presizes INT
+// buffers even when another protocol got there first.
+func (m *Mix) Ops(proto Protocol) netsim.CongestionOps {
+	if ops, ok := m.ops[proto]; ok {
+		return ops
+	}
+	factory, ok := opsRegistry[proto]
+	if !ok {
+		panic("experiments: unknown protocol " + string(proto))
+	}
+	ops := factory(m)
+	m.ops[proto] = ops
+	m.active = append(m.active, proto)
+	if f := ops.Features(); f.INTHops > m.Net.INTHopCap {
+		m.Net.INTHopCap = f.INTHops
+	}
+	return ops
+}
+
+// Activate instantiates a protocol's descriptor without wiring anything,
+// adding it to the set the Mix-level EnableAllSwitchPorts and
+// AttachReceivers sweeps cover.
+func (m *Mix) Activate(proto Protocol) { m.Ops(proto) }
+
+// Active returns the protocols instantiated so far, in first-use order.
+func (m *Mix) Active() []Protocol { return m.active }
+
+// Use returns a single-protocol view of the composer — the Stack API —
+// so per-protocol wiring and flow starts read naturally in mixed-fabric
+// code.
+func (m *Mix) Use(proto Protocol) *Stack {
+	m.Activate(proto)
+	return &Stack{Mix: m, Proto: proto}
+}
+
+// portState tracks one port's attachments: which protocols enabled it
+// (idempotency) and the switch-side elements in attach order (mux
+// construction).
+type portState struct {
+	protos []Protocol
+	ccs    []netsim.PortCC // parallel to protos; nil for no-switch-action protocols
+}
+
+func (ps *portState) has(proto Protocol) bool {
+	for _, p := range ps.protos {
+		if p == proto {
+			return true
+		}
+	}
+	return false
+}
+
+// EnablePort attaches one protocol's switch-side element to an egress
+// port. Repeat calls for the same (port, protocol) are no-ops, so wiring
+// sweeps can overlap without stacking fair-rate tickers. A port already
+// carrying an attachment this Mix does not manage panics with both
+// protocol names — the silent-overwrite path is gone; mixed fabrics must
+// share one Mix.
+func (m *Mix) EnablePort(proto Protocol, port *netsim.Port) {
+	sw, ok := port.Owner().(*netsim.Switch)
+	if !ok {
+		panic("experiments: EnablePort needs a switch egress port")
+	}
+	ps := m.ports[port]
+	if ps == nil {
+		if port.CC != nil {
+			panic(fmt.Sprintf(
+				"experiments: %s port %d already has a %s attachment not managed by this Mix; enabling %s would overwrite it (use one Mix per fabric)",
+				sw.Name, port.Index, netsim.CCProtocolName(port.CC), proto))
+		}
+		ps = &portState{}
+		m.ports[port] = ps
+	}
+	if ps.has(proto) {
+		return
+	}
+	cc := m.Ops(proto).AttachPort(m.Net, sw, port)
+	ps.protos = append(ps.protos, proto)
+	ps.ccs = append(ps.ccs, cc)
+	m.placePortCC(port, ps)
+}
+
+// placePortCC decides what lands on the port's single CC slot: nothing,
+// the lone element directly, or a per-flow demultiplexer over the set.
+// (Attach-style constructors set port.CC themselves; placement here is
+// authoritative either way.)
+func (m *Mix) placePortCC(port *netsim.Port, ps *portState) {
+	var entries []muxEntry
+	for i, cc := range ps.ccs {
+		if cc != nil {
+			entries = append(entries, muxEntry{ops: m.ops[ps.protos[i]], cc: cc})
+		}
+	}
+	switch len(entries) {
+	case 0:
+		port.CC = nil
+	case 1:
+		port.CC = entries[0].cc
+	default:
+		port.CC = &portMux{mix: m, entries: entries}
+	}
+}
+
+// EnablePorts attaches one protocol's switch-side element to many ports.
+func (m *Mix) EnablePorts(proto Protocol, ports ...*netsim.Port) {
+	for _, p := range ports {
+		m.EnablePort(proto, p)
+	}
+}
+
+// EnableAllSwitchPorts attaches every active protocol on every switch
+// egress port — the mixed-fabric wiring sweep. Activate (or Use) the
+// protocols first.
+func (m *Mix) EnableAllSwitchPorts() {
+	for _, sw := range m.Net.Switches() {
+		for _, p := range sw.Ports() {
+			for _, proto := range m.active {
+				m.EnablePort(proto, p)
+			}
+		}
+	}
+}
+
+// muxEntry pairs a switch-side element (or receiver hook) with the
+// descriptor that owns it, for per-flow dispatch.
+type muxEntry struct {
+	ops netsim.CongestionOps
+	cc  netsim.PortCC
+}
+
+// portMux demultiplexes a shared port's PortCC callbacks to the element
+// of the protocol that owns each packet's flow. Packets of flows the Mix
+// did not start (or that completed past the removal grace) see no
+// switch-side action — each protocol's element observes exactly its own
+// traffic, so e.g. a DCQCN marker never marks RoCC packets and a RoCC
+// flow table never tracks DCQCN flows.
+type portMux struct {
+	mix     *Mix
+	entries []muxEntry
+}
+
+func (x *portMux) lookup(fid netsim.FlowID) netsim.PortCC {
+	ops, ok := x.mix.flows[fid]
+	if !ok {
+		return nil
+	}
+	for _, e := range x.entries {
+		if e.ops == ops {
+			return e.cc
+		}
+	}
+	return nil
+}
+
+// OnEnqueue implements netsim.PortCC.
+func (x *portMux) OnEnqueue(now sim.Time, pkt *netsim.Packet, qlen int) {
+	if cc := x.lookup(pkt.Flow); cc != nil {
+		cc.OnEnqueue(now, pkt, qlen)
+	}
+}
+
+// OnDequeue implements netsim.PortCC.
+func (x *portMux) OnDequeue(now sim.Time, pkt *netsim.Packet, qlen int) {
+	if cc := x.lookup(pkt.Flow); cc != nil {
+		cc.OnDequeue(now, pkt, qlen)
+	}
+}
+
+// CCProtocol implements netsim.ProtocolNamer.
+func (x *portMux) CCProtocol() string {
+	name := "mix("
+	for i, e := range x.entries {
+		if i > 0 {
+			name += "+"
+		}
+		name += e.ops.Name()
+	}
+	return name + ")"
+}
+
+// receiverState tracks one host's receiver hooks by protocol.
+type receiverState struct {
+	protos []Protocol
+	hooks  []netsim.ReceiverHook // parallel to protos; nil for hook-less protocols
+}
+
+func (rs *receiverState) has(proto Protocol) bool {
+	for _, p := range rs.protos {
+		if p == proto {
+			return true
+		}
+	}
+	return false
+}
+
+// AttachReceiver installs one protocol's destination-side hook on a
+// host. Idempotent per (host, protocol); hook-less protocols leave the
+// host untouched. Like EnablePort, a receiver installed outside this Mix
+// is a conflict, not an overwrite.
+func (m *Mix) AttachReceiver(proto Protocol, h *netsim.Host) {
+	rs := m.receivers[h]
+	if rs == nil {
+		rs = &receiverState{}
+		m.receivers[h] = rs
+	}
+	if rs.has(proto) {
+		return
+	}
+	hook := m.Ops(proto).NewReceiver(m.Net, h)
+	if hook != nil && h.Receiver != nil && !rs.installed(h.Receiver) {
+		panic(fmt.Sprintf(
+			"experiments: host %s already has a receiver hook not managed by this Mix; attaching %s would overwrite it",
+			h.Name, proto))
+	}
+	rs.protos = append(rs.protos, proto)
+	rs.hooks = append(rs.hooks, hook)
+	m.placeReceiver(h, rs)
+}
+
+// installed reports whether the host's current receiver is one this
+// state owns (directly or as its mux).
+func (rs *receiverState) installed(hook netsim.ReceiverHook) bool {
+	if _, ok := hook.(*receiverMux); ok {
+		return true
+	}
+	for _, h := range rs.hooks {
+		if h == hook {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Mix) placeReceiver(h *netsim.Host, rs *receiverState) {
+	var entries []recvEntry
+	for i, hook := range rs.hooks {
+		if hook != nil {
+			entries = append(entries, recvEntry{ops: m.ops[rs.protos[i]], hook: hook})
+		}
+	}
+	switch len(entries) {
+	case 0:
+		// Leave h.Receiver as is (nil, or a hook someone else owns).
+	case 1:
+		h.Receiver = entries[0].hook
+	default:
+		h.Receiver = &receiverMux{mix: m, entries: entries}
+	}
+}
+
+// AttachReceivers installs every active protocol's receiver hook on the
+// given hosts (all hosts when none are given).
+func (m *Mix) AttachReceivers(hosts ...*netsim.Host) {
+	if len(hosts) == 0 {
+		hosts = m.Net.Hosts()
+	}
+	for _, h := range hosts {
+		for _, proto := range m.active {
+			m.AttachReceiver(proto, h)
+		}
+	}
+}
+
+type recvEntry struct {
+	ops  netsim.CongestionOps
+	hook netsim.ReceiverHook
+}
+
+// receiverMux demultiplexes a shared host's OnData to the hook of the
+// protocol owning the packet's flow.
+type receiverMux struct {
+	mix     *Mix
+	entries []recvEntry
+}
+
+// OnData implements netsim.ReceiverHook.
+func (x *receiverMux) OnData(now sim.Time, pkt *netsim.Packet) *netsim.Packet {
+	ops, ok := x.mix.flows[pkt.Flow]
+	if !ok {
+		return nil
+	}
+	for _, e := range x.entries {
+		if e.ops == ops {
+			return e.hook.OnData(now, pkt)
+		}
+	}
+	return nil
+}
+
+// NewFlowCC builds a per-flow congestion controller for a source host
+// under the given protocol.
+func (m *Mix) NewFlowCC(proto Protocol, src *netsim.Host) netsim.FlowCC {
+	return m.Ops(proto).NewFlowCC(m.Net, src)
+}
+
+// StartFlow launches a flow under one protocol: its controller, its ACK
+// cadence, its per-packet header overhead.
+func (m *Mix) StartFlow(proto Protocol, src, dst *netsim.Host, size int64, maxRate netsim.Rate) *netsim.Flow {
+	ops := m.Ops(proto)
+	return m.register(ops, m.Net.StartFlow(src, dst, netsim.FlowConfig{
+		Size:        size,
+		MaxRate:     maxRate,
+		CC:          ops.NewFlowCC(m.Net, src),
+		AckEvery:    ops.AckEvery(src),
+		ExtraHeader: ops.Features().ExtraHeaderBytes,
+	}))
+}
+
+// StartCustomFlow launches a flow with a caller-chosen rate cap and
+// reliability mode — the generalized entry point chaos scenarios use to
+// mix capped persistent flows with reliable finite transfers.
+func (m *Mix) StartCustomFlow(proto Protocol, src, dst *netsim.Host, size int64, maxRate netsim.Rate, reliable bool) *netsim.Flow {
+	ops := m.Ops(proto)
+	return m.register(ops, m.Net.StartFlow(src, dst, netsim.FlowConfig{
+		Size:        size,
+		MaxRate:     maxRate,
+		CC:          ops.NewFlowCC(m.Net, src),
+		Reliable:    reliable,
+		AckEvery:    ops.AckEvery(src),
+		ExtraHeader: ops.Features().ExtraHeaderBytes,
+	}))
+}
+
+// StartReliableFlow launches a go-back-N flow (App. A.2's lossy runs).
+func (m *Mix) StartReliableFlow(proto Protocol, src, dst *netsim.Host, size int64) *netsim.Flow {
+	ops := m.Ops(proto)
+	return m.register(ops, m.Net.StartFlow(src, dst, netsim.FlowConfig{
+		Size:        size,
+		CC:          ops.NewFlowCC(m.Net, src),
+		Reliable:    true,
+		ExtraHeader: ops.Features().ExtraHeaderBytes,
+	}))
+}
+
+func (m *Mix) register(ops netsim.CongestionOps, f *netsim.Flow) *netsim.Flow {
+	m.flows[f.ID] = ops
+	return f
+}
+
+// FlowProtocol reports which protocol a Mix-started flow runs under
+// ("" for flows the Mix did not start or has already retired).
+func (m *Mix) FlowProtocol(fid netsim.FlowID) Protocol {
+	ops, ok := m.flows[fid]
+	if !ok {
+		return ""
+	}
+	for p, o := range m.ops {
+		if o == ops {
+			return p
+		}
+	}
+	return Protocol(ops.Name())
+}

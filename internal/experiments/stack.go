@@ -8,15 +8,9 @@ import (
 	"fmt"
 	"strings"
 
-	"rocc/internal/dcqcn"
-	"rocc/internal/dcqcnpi"
-	"rocc/internal/dctcp"
 	"rocc/internal/hpcc"
 	"rocc/internal/netsim"
-	"rocc/internal/qcn"
-	"rocc/internal/roccnet"
 	"rocc/internal/sim"
-	"rocc/internal/timely"
 )
 
 // Protocol names a congestion-control scheme under test.
@@ -63,74 +57,26 @@ func ParseProtocol(name string) (Protocol, error) {
 	return "", fmt.Errorf("experiments: unknown protocol %q", name)
 }
 
-// Stack wires one protocol into a built network: switch-side elements per
-// egress port, receiver hooks per destination host, and a flow-controller
-// factory for sources.
+// Stack is the single-protocol view of a Mix: the wiring and flow-start
+// API every experiment runner uses, with the protocol fixed once instead
+// of threaded through each call. A Stack built by NewStack owns a fresh
+// Mix — the classic one-protocol-per-network setup — while Mix.Use
+// returns additional views sharing one fabric-level composer.
 type Stack struct {
-	Engine  *sim.Engine
-	Net     *netsim.Network
-	Proto   Protocol
-	BaseRTT sim.Time // HPCC's T parameter; also used for TIMELY scaling
-
-	rand *sim.Rand
-
-	// RoCCOpts overrides the default RoCC CP options (ablation hooks).
-	RoCCOpts roccnet.CPOptions
-	// RoCCRP overrides the default RoCC RP options.
-	RoCCRP roccnet.RPOptions
-
-	// CPs collects attached RoCC congestion points for instrumentation.
-	CPs map[*netsim.Port]*roccnet.CP
+	*Mix
+	Proto Protocol
 }
 
-// NewStack builds a protocol stack for the network.
+// NewStack builds a protocol stack for the network. baseRTT parameterizes
+// window-based protocols; zero uses a 10 µs default.
 func NewStack(net *netsim.Network, proto Protocol, baseRTT sim.Time) *Stack {
-	if baseRTT == 0 {
-		baseRTT = 10 * sim.Microsecond
-	}
-	if proto == ProtoHPCC && net.INTHopCap == 0 {
-		// Presize pooled packets' INT buffers to the deepest path the
-		// experiment topologies use (fat-tree: host-leaf-spine-leaf-host is
-		// 4 stamping hops; 8 leaves headroom) so per-hop stamping never
-		// grows a backing array.
-		net.INTHopCap = 8
-	}
-	return &Stack{
-		Engine:  net.Engine,
-		Net:     net,
-		Proto:   proto,
-		BaseRTT: baseRTT,
-		rand:    net.Rand.Split(),
-		CPs:     make(map[*netsim.Port]*roccnet.CP),
-	}
+	return &Stack{Mix: NewMix(net, baseRTT), Proto: proto}
 }
 
 // EnablePort attaches the protocol's switch-side element to one egress
 // port. For TIMELY this is a no-op (the switch takes no action).
 func (s *Stack) EnablePort(port *netsim.Port) {
-	sw, ok := port.Owner().(*netsim.Switch)
-	if !ok {
-		panic("experiments: EnablePort needs a switch egress port")
-	}
-	gbps := port.LinkRate.Gbps()
-	switch s.Proto {
-	case ProtoRoCC:
-		s.CPs[port] = roccnet.Attach(s.Net, sw, port, s.RoCCOpts)
-	case ProtoDCQCN:
-		port.CC = dcqcn.NewMarker(dcqcn.DefaultConfig(gbps), s.rand)
-	case ProtoDCQCNPI:
-		dcqcnpi.Attach(s.Net, port, dcqcnpi.DefaultConfig(gbps), s.rand)
-	case ProtoHPCC:
-		port.CC = hpcc.NewStamper(port)
-	case ProtoQCN:
-		qcn.AttachCP(s.Net, sw, port, qcn.DefaultConfig(gbps))
-	case ProtoDCTCP:
-		port.CC = dctcp.NewMarker(dctcp.DefaultConfig(gbps, s.BaseRTT))
-	case ProtoTIMELY:
-		// RTT-only: no switch involvement.
-	default:
-		panic("experiments: unknown protocol " + string(s.Proto))
-	}
+	s.Mix.EnablePort(s.Proto, port)
 }
 
 // EnablePorts attaches the switch-side element to many ports.
@@ -151,71 +97,28 @@ func (s *Stack) EnableAllSwitchPorts() {
 
 // AttachReceiver installs the protocol's destination-side hook on a host.
 func (s *Stack) AttachReceiver(h *netsim.Host) {
-	switch s.Proto {
-	case ProtoDCQCN, ProtoDCQCNPI:
-		gbps := h.NIC().LinkRate.Gbps()
-		h.Receiver = dcqcn.NewReceiver(dcqcn.DefaultConfig(gbps), h)
-	case ProtoDCTCP:
-		h.Receiver = dctcp.NewReceiver(h)
-	default:
-		// RoCC: CNPs come from switches. HPCC/TIMELY: the flow layer's
-		// ACK echoes carry what the sender needs. QCN: layer-2 feedback.
-	}
+	s.Mix.AttachReceiver(s.Proto, h)
 }
 
 // FlowCC builds a per-flow congestion controller for a source host.
 func (s *Stack) FlowCC(src *netsim.Host) netsim.FlowCC {
-	gbps := src.NIC().LinkRate.Gbps()
-	switch s.Proto {
-	case ProtoRoCC:
-		return roccnet.NewFlowCC(s.Engine, src, s.RoCCRP)
-	case ProtoDCQCN, ProtoDCQCNPI:
-		return dcqcn.NewFlowCC(s.Engine, src, dcqcn.DefaultConfig(gbps))
-	case ProtoHPCC:
-		return hpcc.NewFlowCC(src, hpcc.DefaultConfig(gbps, s.BaseRTT))
-	case ProtoTIMELY:
-		return timely.NewFlowCC(src, timely.DefaultConfig(gbps))
-	case ProtoQCN:
-		return qcn.NewFlowCC(s.Engine, src, qcn.DefaultConfig(gbps))
-	case ProtoDCTCP:
-		return dctcp.NewFlowCC(src, dctcp.DefaultConfig(gbps, s.BaseRTT))
-	}
-	panic("experiments: unknown protocol " + string(s.Proto))
+	return s.Mix.NewFlowCC(s.Proto, src)
 }
 
-// AckEvery returns the flow ACK cadence the protocol needs: HPCC requires
-// per-packet INT echoes, TIMELY periodic RTT samples, the rest none.
-func (s *Stack) AckEvery() int {
-	switch s.Proto {
-	case ProtoHPCC, ProtoDCTCP:
-		return 1
-	case ProtoTIMELY:
-		return timely.DefaultConfig(40).AckEvery
-	}
-	return 0
+// AckEvery returns the flow ACK cadence the protocol needs for a flow
+// sourced at src: HPCC requires per-packet INT echoes, TIMELY periodic
+// RTT samples at its configured segment size, the rest none.
+func (s *Stack) AckEvery(src *netsim.Host) int {
+	return s.Ops(s.Proto).AckEvery(src)
 }
 
 // INTOverheadBytes is the per-data-packet wire cost of HPCC's telemetry
 // (the paper cites 42 B of INT for a 5-hop path).
-const INTOverheadBytes = 42
-
-// extraHeader returns the per-packet overhead the protocol imposes.
-func (s *Stack) extraHeader() int {
-	if s.Proto == ProtoHPCC {
-		return INTOverheadBytes
-	}
-	return 0
-}
+const INTOverheadBytes = hpcc.INTOverheadBytes
 
 // StartFlow launches a flow with the stack's controller and ACK policy.
 func (s *Stack) StartFlow(src, dst *netsim.Host, size int64, maxRate netsim.Rate) *netsim.Flow {
-	return s.Net.StartFlow(src, dst, netsim.FlowConfig{
-		Size:        size,
-		MaxRate:     maxRate,
-		CC:          s.FlowCC(src),
-		AckEvery:    s.AckEvery(),
-		ExtraHeader: s.extraHeader(),
-	})
+	return s.Mix.StartFlow(s.Proto, src, dst, size, maxRate)
 }
 
 // StartCustomFlow launches a flow with the stack's controller, ACK
@@ -223,22 +126,10 @@ func (s *Stack) StartFlow(src, dst *netsim.Host, size int64, maxRate netsim.Rate
 // reliability mode — the generalized entry point chaos scenarios use to
 // mix capped persistent flows with reliable finite transfers.
 func (s *Stack) StartCustomFlow(src, dst *netsim.Host, size int64, maxRate netsim.Rate, reliable bool) *netsim.Flow {
-	return s.Net.StartFlow(src, dst, netsim.FlowConfig{
-		Size:        size,
-		MaxRate:     maxRate,
-		CC:          s.FlowCC(src),
-		Reliable:    reliable,
-		AckEvery:    s.AckEvery(),
-		ExtraHeader: s.extraHeader(),
-	})
+	return s.Mix.StartCustomFlow(s.Proto, src, dst, size, maxRate, reliable)
 }
 
 // StartReliableFlow launches a go-back-N flow (App. A.2's lossy runs).
 func (s *Stack) StartReliableFlow(src, dst *netsim.Host, size int64) *netsim.Flow {
-	return s.Net.StartFlow(src, dst, netsim.FlowConfig{
-		Size:        size,
-		CC:          s.FlowCC(src),
-		Reliable:    true,
-		ExtraHeader: s.extraHeader(),
-	})
+	return s.Mix.StartReliableFlow(s.Proto, src, dst, size)
 }

@@ -59,7 +59,7 @@ func TestStackAckPolicies(t *testing.T) {
 	}
 	for p, want := range cases {
 		stack := NewStack(star.Net, p, 0)
-		if got := stack.AckEvery(); got != want {
+		if got := stack.AckEvery(star.Sources[0]); got != want {
 			t.Errorf("%s: AckEvery = %d, want %d", p, got, want)
 		}
 	}

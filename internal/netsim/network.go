@@ -29,6 +29,12 @@ type Network struct {
 	// OnFlowDone is invoked when a flow's last byte reaches its receiver.
 	OnFlowDone func(*Flow)
 
+	// OnFlowRemoved is invoked when a completed flow is finally dropped
+	// from the registry, after the post-completion grace period for late
+	// control packets. Composers keyed by FlowID (the experiments Mix)
+	// use it to retire their per-flow routing state.
+	OnFlowRemoved func(*Flow)
+
 	// DefaultRPDelay is applied to hosts created after it is set (15 µs
 	// per §6). It can be overridden per host.
 	DefaultRPDelay sim.Time
@@ -236,6 +242,9 @@ func (n *Network) removeFlowLater(f *Flow) {
 	n.Engine.After(removeGrace, func() {
 		if n.flows[id] == f {
 			delete(n.flows, id)
+			if n.OnFlowRemoved != nil {
+				n.OnFlowRemoved(f)
+			}
 		}
 	})
 }

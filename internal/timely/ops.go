@@ -1,0 +1,44 @@
+package timely
+
+import "rocc/internal/netsim"
+
+// Ops is TIMELY's netsim.CongestionOps descriptor: no switch element, no
+// receiver hook — just the RTT-gradient controller per flow plus the ACK
+// cadence its RTT sampling needs. The cadence comes from the same Config
+// the flow's controller is built with, so a host's NIC rate (or a custom
+// Config override) drives both consistently.
+type Ops struct {
+	// Config maps a source host to TIMELY parameters. Nil selects
+	// DefaultConfig at the host's NIC rate.
+	Config func(src *netsim.Host) Config
+}
+
+func (o *Ops) config(src *netsim.Host) Config {
+	if o.Config != nil {
+		return o.Config(src)
+	}
+	return DefaultConfig(src.NIC().LinkRate.Gbps())
+}
+
+// Name implements netsim.CongestionOps.
+func (o *Ops) Name() string { return "TIMELY" }
+
+// Features implements netsim.CongestionOps: RTT-only, no CNPs, no INT.
+func (o *Ops) Features() netsim.CCFeatures { return netsim.CCFeatures{} }
+
+// AttachPort implements netsim.CongestionOps: the switch takes no action.
+func (o *Ops) AttachPort(net *netsim.Network, sw *netsim.Switch, port *netsim.Port) netsim.PortCC {
+	return nil
+}
+
+// NewReceiver implements netsim.CongestionOps: no receiver action.
+func (o *Ops) NewReceiver(net *netsim.Network, h *netsim.Host) netsim.ReceiverHook { return nil }
+
+// NewFlowCC implements netsim.CongestionOps.
+func (o *Ops) NewFlowCC(net *netsim.Network, src *netsim.Host) netsim.FlowCC {
+	return NewFlowCC(src, o.config(src))
+}
+
+// AckEvery implements netsim.CongestionOps: the RTT sampling cadence of
+// the controller configuration for this source.
+func (o *Ops) AckEvery(src *netsim.Host) int { return o.config(src).AckEvery }

@@ -177,6 +177,15 @@ type (
 	Protocol = experiments.Protocol
 	// Stack wires a protocol into a built network.
 	Stack = experiments.Stack
+	// Mix composes several protocols on one fabric, assigning a
+	// congestion-control scheme per flow.
+	Mix = experiments.Mix
+	// CongestionOps is the descriptor one scheme implements to plug into
+	// a Stack or Mix: switch attachment, receiver hook, flow controller,
+	// ACK cadence and packet-feature requirements.
+	CongestionOps = netsim.CongestionOps
+	// CCFeatures are the packet-level capacities a scheme requires.
+	CCFeatures = netsim.CCFeatures
 )
 
 // The protocols the paper evaluates.
@@ -187,12 +196,26 @@ const (
 	ProtoHPCC    = experiments.ProtoHPCC
 	ProtoTIMELY  = experiments.ProtoTIMELY
 	ProtoQCN     = experiments.ProtoQCN
+	ProtoDCTCP   = experiments.ProtoDCTCP
 )
 
 // NewStack builds a protocol stack for a network. baseRTT parameterizes
 // window-based protocols; zero uses a 10 µs default.
 func NewStack(net *Network, proto Protocol, baseRTT Time) *Stack {
 	return experiments.NewStack(net, proto, baseRTT)
+}
+
+// NewMix builds a multi-protocol composer for a network. Activate (or
+// Use) protocols, wire ports and receivers, then start flows with a
+// protocol each.
+func NewMix(net *Network, baseRTT Time) *Mix {
+	return experiments.NewMix(net, baseRTT)
+}
+
+// RegisterProtocol installs a custom congestion-control scheme under a
+// name, making it available to Stack, Mix, and the chaos soak.
+func RegisterProtocol(p Protocol, factory func(m *Mix) CongestionOps) {
+	experiments.RegisterOps(p, factory)
 }
 
 // Workloads (§6.3).
