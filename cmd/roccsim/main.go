@@ -7,7 +7,7 @@
 //
 // Experiments: fig5 fig6 fig7a fig7b fig8 fig9 fig11 fig12a fig12b fig13
 // fig14 fig15 fig16 table3 fig17 fig18 fig19 fig20 qos table1 faults
-// rollout soak all (default fig8)
+// recovery rollout soak all (default fig8)
 //
 // Flags:
 //
@@ -141,7 +141,7 @@ func emitBins(name, protocol string, bins []stats.BinStat) {
 func main() {
 	flag.Parse()
 	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|rollout|soak|all]")
+		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|recovery|rollout|soak|all]")
 		os.Exit(2)
 	}
 	name := "fig8" // the canonical single-bottleneck experiment
@@ -309,6 +309,8 @@ func run(name string) {
 		runTable1()
 	case "faults":
 		runFaultsExp()
+	case "recovery":
+		runRecoveryExp()
 	case "rollout":
 		runRollout()
 	case "soak":
@@ -737,6 +739,39 @@ func runFaultsExp() {
 		fmt.Printf("  %-20s %7.2f %8s %10.1f %7.4f %7d %6d %6d\n",
 			v.Config.Label(), v.ThroughputGbps, degr, v.QueueMeanKB, v.Jain,
 			v.StaleRecoveries, v.CNPsRejected, lost)
+	}
+}
+
+// runRecoveryExp sweeps every protocol through a hard core-link kill
+// and a core-switch kill on the fat-tree, reporting goodput dip depth,
+// time back to 90% of the pre-failure rate, and post-recovery fairness.
+func runRecoveryExp() {
+	base := experiments.RecoveryConfig{Seed: *seedFlag}
+	if *durFlag > 0 {
+		base.Duration = sim.Time(durFlag.Nanoseconds())
+	}
+	cfg := base.Filled()
+	fmt.Printf("recovery: fat-tree 2x3x%d, fail %.1f ms -> restore %.1f ms (+%.0f us reconverge)\n",
+		cfg.HostsPerEdge, cfg.FailAt.Seconds()*1e3, cfg.RestoreAt.Seconds()*1e3,
+		netsim.DefaultReconvergeDelay.Seconds()*1e6)
+	cells := experiments.RecoveryCells(base)
+	rs := experiments.RunRecoveryGrid(cells, *workFlag)
+	fmt.Printf("  %-8s %-7s %10s %9s %7s %9s %6s %7s %8s\n",
+		"protocol", "kill", "base Gb/s", "dip Gb/s", "depth", "t90 us", "jain", "blkhole", "retx KB")
+	for i, r := range rs {
+		if r.Err != nil {
+			reportErr(fmt.Sprintf("recovery %s/%s", cells[i].Protocol, cells[i].Kill), 0, r.Err)
+			continue
+		}
+		v := r.Value
+		t90 := "never"
+		if v.T90 >= 0 {
+			t90 = fmt.Sprintf("%.0f", v.T90.Seconds()*1e6)
+		}
+		fmt.Printf("  %-8s %-7s %10.2f %9.2f %6.1f%% %9s %6.3f %7d %8.0f\n",
+			v.Config.Protocol, v.Config.Kill, v.BaselineGbps, v.DipGbps,
+			v.DipDepth*100, t90, v.JainPostRecovery, v.BlackholeDrops,
+			float64(v.RetxBytes)/1e3)
 	}
 }
 

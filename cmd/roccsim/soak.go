@@ -14,19 +14,21 @@ var (
 	budgetFlag  = flag.Duration("budget", 0, "soak: wall-clock budget (0 = unlimited)")
 	soakOutFlag = flag.String("soak-out", "", "soak: directory for minimized repros (config JSON + Chrome trace)")
 	shrinkFlag  = flag.Bool("shrink", true, "soak: minimize failing scenarios with delta debugging")
-	faultFlag   = flag.Float64("fault-scale", 1, "soak: fault intensity (1 = default mix, 0 = clean scenarios)")
-	mixProbFlag = flag.Float64("mix-prob", 0.25, "soak: probability a scenario mixes two protocols on one fabric")
+	faultFlag    = flag.Float64("fault-scale", 1, "soak: fault intensity (1 = default mix, 0 = clean scenarios)")
+	mixProbFlag  = flag.Float64("mix-prob", 0.25, "soak: probability a scenario mixes two protocols on one fabric")
+	failProbFlag = flag.Float64("fail-prob", 0, "soak: probability a scenario carries a topology kill (link/switch failure + restore)")
 )
 
 // runSoak drives the chaos subsystem: generate scenarios from the
 // campaign seed, run each under the invariant monitors on the worker
 // pool, and shrink + persist any failures.
 func runSoak() {
-	gen := chaos.GenOptions{FaultScale: *faultFlag, MixProb: *mixProbFlag}
+	gen := chaos.GenOptions{FaultScale: *faultFlag, MixProb: *mixProbFlag, FailProb: *failProbFlag}
 	if *faultFlag == 0 {
 		gen.FaultScale = -1 // explicit clean mode (0 means "default" in GenOptions)
 	}
-	fmt.Printf("soak: randomized chaos scenarios (seed %d, fault scale %g, mix prob %g)\n", *seedFlag, *faultFlag, *mixProbFlag)
+	fmt.Printf("soak: randomized chaos scenarios (seed %d, fault scale %g, mix prob %g, fail prob %g)\n",
+		*seedFlag, *faultFlag, *mixProbFlag, *failProbFlag)
 	opts := chaos.SoakOptions{
 		Seed:    *seedFlag,
 		Count:   *countFlag,

@@ -41,6 +41,14 @@ type GenOptions struct {
 	// derived RNG stream, so a given (seed, options) pair generates the
 	// same base scenario whether or not mixing is enabled.
 	MixProb float64
+
+	// FailProb is the probability a scenario carries a topology kill — a
+	// hard link or switch failure that reroutes and later restores. Like
+	// the mix overlay it draws from its own salted RNG stream, so turning
+	// failures on never perturbs the base scenario a seed generates. A
+	// kill replaces any flap faults the base drew (link-state ownership
+	// is exclusive; Validate rejects the combination).
+	FailProb float64
 }
 
 func (o GenOptions) withDefaults() GenOptions {
@@ -92,6 +100,7 @@ func Generate(seed int64, opts GenOptions) Scenario {
 		sc.Faults = genFaults(r, sc.Topology, dur, o)
 	}
 	mixProtocols(seed, o, &sc)
+	overlayKill(seed, o, &sc)
 	return sc
 }
 
@@ -132,6 +141,57 @@ func mixProtocols(seed int64, o GenOptions, sc *Scenario) {
 			sc.Flows[i].Protocol = string(second)
 		}
 	}
+}
+
+// killSeedSalt decorrelates the topology-kill overlay from both the base
+// stream and the mix overlay, for the same replayability reason.
+const killSeedSalt = 0x6b696c6c // "kill"
+
+// overlayKill adds one hard topology failure (link or switch kill with a
+// scheduled restore) with probability FailProb, from its own derived RNG
+// stream. The kill lands between 0.2 and 0.4 of the run and restores
+// 0.1-0.25 of the run later, so the fabric is whole well before the end
+// — the recovery invariants need post-restore running time. Flap faults
+// the base stream drew are dropped: a kill owns the fabric's link state
+// for the run (Validate rejects the combination).
+func overlayKill(seed int64, o GenOptions, sc *Scenario) {
+	if o.FailProb <= 0 {
+		return
+	}
+	r := sim.NewRand(seed ^ killSeedSalt)
+	if r.Float64() >= o.FailProb {
+		return
+	}
+	kept := sc.Faults[:0]
+	for _, f := range sc.Faults {
+		if f.Kind != FaultFlap {
+			kept = append(kept, f)
+		}
+	}
+	sc.Faults = kept
+	// Persistent flows ride go-back-N in kill scenarios: a blackhole
+	// window erases in-flight bytes, and over an unreliable transport a
+	// window-based sender (HPCC, DCTCP) loses that window credit forever
+	// — wedged by construction, not by a CC bug. RoCEv2 is a reliable
+	// transport; the recovery invariant measures the control loop, so the
+	// transport must be able to recover at all.
+	for i := range sc.Flows {
+		if sc.Flows[i].SizeBytes == -1 {
+			sc.Flows[i].Reliable = true
+		}
+	}
+	dur := float64(sc.DurationNs)
+	at := int64((0.2 + 0.2*r.Float64()) * dur)
+	restore := at + int64((0.1+0.15*r.Float64())*dur)
+	f := FaultSpec{AtNs: at, RestoreNs: restore}
+	if r.Intn(2) == 0 {
+		f.Kind = FaultLinkKill
+		f.Link = r.Intn(sc.Topology.linkCount())
+	} else {
+		f.Kind = FaultSwitchKill
+		f.Switch = r.Intn(sc.Topology.switchCount())
+	}
+	sc.Faults = append(sc.Faults, f)
 }
 
 func genTopology(r *sim.Rand, kind string) TopologySpec {

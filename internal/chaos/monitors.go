@@ -26,6 +26,9 @@ const (
 	InvStuckQueue       = "stuck_queue"
 	InvFairness         = "fairness"
 	InvPacketAccounting = "packet_accounting"
+	InvBlackhole        = "blackhole"   // no permanent blackhole after reconvergence
+	InvRecovery         = "recovery"    // live flows deliver again after restore
+	InvStalePause       = "stale_pause" // no pause survives the drain (deadlock-free restore)
 )
 
 // Violation records one invariant trip.
@@ -57,6 +60,14 @@ type Runtime struct {
 	midBytes   []int64 // per-flow DeliveredBytes at the fairness window start
 	lastNow    sim.Time
 	hasDupData bool // a data-scope duplicate fault is configured
+
+	// Topology-kill recovery snapshot, taken shortly after the scheduled
+	// restore has reconverged (see Run). The final recovery checkers
+	// compare the end-of-run state against it.
+	recoverSet          bool   // snapshot taken (scenario had a kill that restored in time)
+	recoverBytes        int64  // total delivered bytes at the snapshot
+	blackholeAtRecovery uint64 // Net.BlackholeDrops() at the snapshot
+	liveAtRecovery      bool   // a persistent flow had started and was not done
 }
 
 // CustomMonitor is a caller-supplied invariant. Sample runs on every
@@ -333,6 +344,68 @@ func checkFairness(rt *Runtime, o RunOptions) (string, bool) {
 	return "", false
 }
 
+// checkBlackhole runs after the drain: once a kill's restore has
+// reconverged, the routing tables must be whole again and no packet may
+// blackhole past the recovery snapshot — a later no-route drop means a
+// permanent hole, not a window.
+func checkBlackhole(rt *Runtime, _ RunOptions) (string, bool) {
+	if !rt.recoverSet {
+		return "", false
+	}
+	if detail, ok := rt.Net.RoutesComplete(); !ok {
+		return "routes incomplete after restore: " + detail, true
+	}
+	if d := rt.Net.BlackholeDrops(); d > rt.blackholeAtRecovery {
+		return fmt.Sprintf("%d blackhole drops after reconvergence (total %d)",
+			d-rt.blackholeAtRecovery, d), true
+	}
+	return "", false
+}
+
+// checkRecovery is the bounded-recovery invariant: a persistent flow that
+// was alive when the fabric healed must deliver bytes between the
+// recovery snapshot and the end of the run. Silence across that whole
+// stretch means the failure permanently wedged the flow (a dead rate
+// limiter, an unrecovered route, a stuck pause) rather than dipping it.
+func checkRecovery(rt *Runtime, _ RunOptions) (string, bool) {
+	if !rt.recoverSet || !rt.liveAtRecovery {
+		return "", false
+	}
+	var total int64
+	for _, f := range rt.Flows {
+		if f != nil {
+			total += f.DeliveredBytes()
+		}
+	}
+	if total <= rt.recoverBytes {
+		return fmt.Sprintf("no bytes delivered after restore (stuck at %d)", total), true
+	}
+	return "", false
+}
+
+// checkStalePause runs after the drain on every scenario: with all flows
+// stopped, all fault schedules quiesced and all queues empty, every PFC
+// pause must have been released. A pause that survives the drain can
+// never clear — the residue form of a pause-state leak (the stale-pause
+// class of bug the flap/kill restore paths guard against).
+func checkStalePause(rt *Runtime, _ RunOptions) (string, bool) {
+	for _, sw := range rt.Net.Switches() {
+		for _, p := range sw.Ports() {
+			if p.Paused() {
+				return fmt.Sprintf("switch %s port %d still paused after drain", sw.Name, p.Index), true
+			}
+		}
+	}
+	for _, h := range rt.Net.Hosts() {
+		for _, p := range h.Ports() {
+			if p.Paused() {
+				return fmt.Sprintf("host %s NIC still paused after drain", h.Name), true
+			}
+		}
+	}
+	return "", false
+}
+
 // sampleCheckers run on every monitor tick; finalCheckers once after the
 // drain grace.
 var sampleCheckers = []struct {
@@ -359,4 +432,7 @@ var finalCheckers = []struct {
 	{InvFlowConservation, checkFlowConservation},
 	{InvFairness, checkFairness},
 	{InvPacketAccounting, checkPacketAccountingFinal},
+	{InvBlackhole, checkBlackhole},
+	{InvRecovery, checkRecovery},
+	{InvStalePause, checkStalePause},
 }

@@ -187,6 +187,32 @@ func Run(sc Scenario, opts RunOptions) (Result, error) {
 			attachFault(rt.Injector, fab, f, dur)
 		}
 	}
+	for _, f := range sc.Faults {
+		if f.Kind != FaultLinkKill && f.Kind != FaultSwitchKill {
+			continue
+		}
+		// Recovery snapshot: shortly after the restore's reconvergence the
+		// fabric is whole again. The final blackhole/recovery checkers
+		// compare the end-of-run state against this point.
+		snapAt := sim.Time(f.RestoreNs) + netsim.DefaultReconvergeDelay + 100*sim.Microsecond
+		// The recovery (must-deliver-again) arm needs running time after
+		// the snapshot to be meaningful; a restore at the very end of the
+		// run still gets the blackhole check, just not this one.
+		canRecover := snapAt+500*sim.Microsecond <= dur
+		engine.At(snapAt, func() {
+			rt.recoverSet = true
+			rt.blackholeAtRecovery = net.BlackholeDrops()
+			for i, fl := range rt.Flows {
+				if fl == nil {
+					continue
+				}
+				rt.recoverBytes += fl.DeliveredBytes()
+				if canRecover && sc.Flows[i].SizeBytes == -1 && !fl.Done() {
+					rt.liveAtRecovery = true
+				}
+			}
+		})
+	}
 
 	var violations []Violation
 	seen := make(map[string]bool)
@@ -287,5 +313,10 @@ func attachFault(inj *faults.Injector, fab *fabric, f FaultSpec, dur sim.Time) {
 		inj.DropCNPs(fab.net.Switches()[f.Switch], f.Prob)
 	case FaultCPStall:
 		inj.StallCPWindow(fab.net.Switches()[f.Switch], sim.Time(f.PeriodNs), sim.Time(f.ActiveNs), dur)
+	case FaultLinkKill:
+		link := fab.links[f.Link]
+		inj.KillLink(link[0], link[1], sim.Time(f.AtNs), sim.Time(f.RestoreNs))
+	case FaultSwitchKill:
+		inj.KillSwitch(fab.net.Switches()[f.Switch], sim.Time(f.AtNs), sim.Time(f.RestoreNs))
 	}
 }

@@ -31,10 +31,12 @@ const (
 
 // Fault kinds a FaultSpec can request.
 const (
-	FaultLink    = "link"    // probabilistic per-packet faults on one link
-	FaultFlap    = "flap"    // periodic outages on one link
-	FaultCNPLoss = "cnploss" // a switch loses its generated CNPs
-	FaultCPStall = "cpstall" // a switch's CPs go silent in windows
+	FaultLink       = "link"       // probabilistic per-packet faults on one link
+	FaultFlap       = "flap"       // periodic outages on one link
+	FaultCNPLoss    = "cnploss"    // a switch loses its generated CNPs
+	FaultCPStall    = "cpstall"    // a switch's CPs go silent in windows
+	FaultLinkKill   = "linkkill"   // hard link failure with rerouting, then restore
+	FaultSwitchKill = "switchkill" // hard switch failure with rerouting, then restore
 )
 
 // Fault scopes restrict link faults to one packet population. PFC pause
@@ -91,6 +93,9 @@ type FaultSpec struct {
 
 	PeriodNs int64 `json:"period_ns,omitempty"` // flap / cpstall cycle
 	ActiveNs int64 `json:"active_ns,omitempty"` // down / stalled portion
+
+	AtNs      int64 `json:"at_ns,omitempty"`      // linkkill / switchkill: failure time
+	RestoreNs int64 `json:"restore_ns,omitempty"` // linkkill / switchkill: restore time
 }
 
 // Scenario is a self-contained, JSON-serializable description of one
@@ -248,6 +253,21 @@ func (sc Scenario) Validate() error {
 	}
 	links, switches := sc.Topology.linkCount(), sc.Topology.switchCount()
 	linkFaulted := make(map[int]bool)
+	kills, flaps := 0, 0
+	for i, f := range sc.Faults {
+		switch f.Kind {
+		case FaultFlap:
+			flaps++
+		case FaultLinkKill, FaultSwitchKill:
+			kills++
+		}
+		if kills > 1 {
+			return fmt.Errorf("chaos: fault %d is a second topology kill (one per scenario)", i)
+		}
+		if kills > 0 && flaps > 0 {
+			return fmt.Errorf("chaos: fault %d mixes a flap with a topology kill (link-state conflict)", i)
+		}
+	}
 	for i, f := range sc.Faults {
 		switch f.Kind {
 		case FaultLink:
@@ -284,6 +304,23 @@ func (sc Scenario) Validate() error {
 				return fmt.Errorf("chaos: fault %d references switch out of [0,%d)", i, switches)
 			}
 			if err := faults.ValidateStall(sim.Time(f.PeriodNs), sim.Time(f.ActiveNs)); err != nil {
+				return fmt.Errorf("chaos: fault %d: %w", i, err)
+			}
+		case FaultLinkKill, FaultSwitchKill:
+			if f.Kind == FaultLinkKill {
+				if f.Link < 0 || f.Link >= links {
+					return fmt.Errorf("chaos: fault %d references link out of [0,%d)", i, links)
+				}
+			} else if f.Switch < 0 || f.Switch >= switches {
+				return fmt.Errorf("chaos: fault %d references switch out of [0,%d)", i, switches)
+			}
+			// Scenario kills must restore inside the run: the end-of-run
+			// invariants (blackhole clearance, recovery, drain) are only
+			// well-posed on a healed fabric.
+			if f.RestoreNs <= 0 || f.RestoreNs > sc.DurationNs {
+				return fmt.Errorf("chaos: fault %d must restore inside (0,%d]", i, sc.DurationNs)
+			}
+			if err := faults.ValidateKill(sim.Time(f.AtNs), sim.Time(f.RestoreNs)); err != nil {
 				return fmt.Errorf("chaos: fault %d: %w", i, err)
 			}
 		default:

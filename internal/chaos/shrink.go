@@ -133,6 +133,12 @@ func shrinkDuration(sc Scenario, trips func(Scenario) bool) Scenario {
 				break
 			}
 		}
+		for _, f := range sc.Faults {
+			if (f.Kind == FaultLinkKill || f.Kind == FaultSwitchKill) && f.RestoreNs > half {
+				ok = false
+				break
+			}
+		}
 		if !ok {
 			break
 		}
@@ -164,7 +170,7 @@ func compactStar(sc Scenario, trips func(Scenario) bool) Scenario {
 		}
 	}
 	for _, f := range sc.Faults {
-		if (f.Kind == FaultLink || f.Kind == FaultFlap) && f.Link < n {
+		if (f.Kind == FaultLink || f.Kind == FaultFlap || f.Kind == FaultLinkKill) && f.Link < n {
 			used[f.Link] = true
 		}
 	}
@@ -197,7 +203,8 @@ func compactStar(sc Scenario, trips func(Scenario) bool) Scenario {
 	}
 	c.Faults = append([]FaultSpec(nil), sc.Faults...)
 	for i := range c.Faults {
-		if c.Faults[i].Kind != FaultLink && c.Faults[i].Kind != FaultFlap {
+		k := c.Faults[i].Kind
+		if k != FaultLink && k != FaultFlap && k != FaultLinkKill {
 			continue
 		}
 		if c.Faults[i].Link == n {

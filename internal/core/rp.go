@@ -92,6 +92,7 @@ type RP struct {
 	CNPsRejected    int // malformed feedback discarded by validation
 	Recoveries      int
 	StaleRecoveries int // recoveries past the staleness threshold (feedback lost)
+	Suspects        int // externally signalled path changes (SuspectStale)
 
 	// tm mirrors the counters above into a registry (SetTelemetry).
 	tm RPTelemetry
@@ -186,6 +187,24 @@ func (rp *RP) ProcessCNP(rateUnits int, cp CPKey) (accepted bool) {
 	rp.CNPsIgnored++
 	rp.tm.CNPsIgnored.Inc()
 	return false
+}
+
+// SuspectStale unpins the congestion point on external evidence of a
+// path change — the network's route-reconvergence notification. The
+// flow's packets may now traverse different CPs, so the pinned CP's last
+// fair rate no longer describes the path; unpinning makes ProcessCNP
+// accept the next valid CNP from any CP unconditionally (the same
+// re-homing the StaleK expiry path provides, without waiting for the
+// recovery timer to notice the silence). A no-op unless staleness
+// handling is configured and a CP is pinned, so fabrics that opt out of
+// StaleK keep byte-identical trajectories.
+func (rp *RP) SuspectStale() {
+	if rp.cfg.staleK() <= 0 || !rp.installed || rp.stale {
+		return
+	}
+	rp.cpcur = NoCP
+	rp.stale = true
+	rp.Suspects++
 }
 
 // TimerExpired implements Timer_Expired (Alg. 2 lines 8-13). It returns

@@ -177,6 +177,23 @@ func (cc *FlowCC) OnAck(now sim.Time, pkt *netsim.Packet) {
 	cc.host.Kick()
 }
 
+// OnRewind implements netsim.RetxAware: a go-back-N rewind declared every
+// byte at or above seq lost, so they leave the in-flight account. Without
+// this a blackhole window (failed link or switch) pins sentHigh-acked at
+// cwnd and Allow blocks the retransmissions that would free it.
+func (cc *FlowCC) OnRewind(now sim.Time, seq int64) {
+	if seq >= cc.sentHigh {
+		return
+	}
+	cc.sentHigh = seq
+	if cc.sentHigh < cc.acked {
+		cc.sentHigh = cc.acked
+	}
+	if cc.windowEnd > cc.sentHigh {
+		cc.windowEnd = cc.sentHigh
+	}
+}
+
 // OnCNP implements netsim.FlowCC: the receiver's CE echoes arrive here.
 func (cc *FlowCC) OnCNP(now sim.Time, pkt *netsim.Packet) {
 	cc.markedInWin++

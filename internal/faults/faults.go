@@ -125,6 +125,9 @@ type Stats struct {
 	Flaps        uint64 // completed link-down events
 	CNPsStalled  uint64 // CNPs suppressed inside CP stall windows
 	StallWindows uint64
+	LinkKills    uint64 // scheduled hard link failures executed
+	SwitchKills  uint64 // scheduled hard switch failures executed
+	Restores     uint64 // scheduled restores executed (links and switches)
 }
 
 // Injector owns the fault configuration and RNG streams for one network.
@@ -279,6 +282,69 @@ func (in *Injector) FlapWindow(a, b *netsim.Port, period, downFor, until sim.Tim
 		})
 	}
 	engine.After(period, down)
+}
+
+// ValidateKill reports whether a topology-kill schedule is usable: the
+// kill time must be non-negative and the restore, when scheduled
+// (restoreAt > 0), must come strictly after it. restoreAt == 0 means the
+// failure is permanent for the run.
+func ValidateKill(at, restoreAt sim.Time) error {
+	if at < 0 {
+		return errors.New("faults: kill time must be non-negative")
+	}
+	if restoreAt > 0 && restoreAt <= at {
+		return errors.New("faults: restore must come after the kill")
+	}
+	return nil
+}
+
+// KillLink schedules a hard failure of the link between ports a and b at
+// time at, routed through the network's topology-failure machinery
+// (netsim.FailLink): both ends go down, ECMP entries over the link are
+// invalidated immediately, and routes reconverge after the network's
+// ReconvergeDelay. restoreAt > 0 schedules the symmetric restore. Unlike
+// Flap, which only pauses the wire, a kill changes routing — flows
+// re-path around the outage. A zero-entry plan (never calling this)
+// installs nothing, keeping zero-fault runs byte-identical.
+func (in *Injector) KillLink(a, b *netsim.Port, at, restoreAt sim.Time) {
+	if err := ValidateKill(at, restoreAt); err != nil {
+		panic(err)
+	}
+	if b.Owner() != a.PeerNode {
+		panic("faults: KillLink ports are not ends of one link")
+	}
+	engine := in.net.Engine
+	engine.At(at, func() {
+		in.net.FailLink(a) // fails both ends; b names the link for the caller
+		in.stats.LinkKills++
+	})
+	if restoreAt > 0 {
+		engine.At(restoreAt, func() {
+			in.net.RestoreLink(a)
+			in.stats.Restores++
+		})
+	}
+}
+
+// KillSwitch schedules a hard failure of a whole switch at time at
+// (netsim.FailSwitch): every attached link goes down, peers invalidate
+// their routes toward it, and its own table is cleared until the restore
+// reconverges. restoreAt > 0 schedules the restore; zero leaves it dead.
+func (in *Injector) KillSwitch(sw *netsim.Switch, at, restoreAt sim.Time) {
+	if err := ValidateKill(at, restoreAt); err != nil {
+		panic(err)
+	}
+	engine := in.net.Engine
+	engine.At(at, func() {
+		in.net.FailSwitch(sw)
+		in.stats.SwitchKills++
+	})
+	if restoreAt > 0 {
+		engine.At(restoreAt, func() {
+			in.net.RestoreSwitch(sw)
+			in.stats.Restores++
+		})
+	}
 }
 
 // cpGate filters one switch's locally generated CNPs: probabilistic loss

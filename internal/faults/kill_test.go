@@ -1,0 +1,146 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+func TestKillLinkSchedulesFailAndRestore(t *testing.T) {
+	engine, net, a, b, sw := pair()
+	in := New(net, 7)
+	f := net.StartFlow(a, b, netsim.FlowConfig{Size: -1, Reliable: true})
+
+	egress := sw.PortTo(b)
+	in.KillLink(egress, b.NIC(), 500*sim.Microsecond, 1500*sim.Microsecond)
+
+	engine.RunUntil(600 * sim.Microsecond)
+	if !egress.LinkDown() || !b.NIC().LinkDown() {
+		t.Fatal("link not down after the scheduled kill")
+	}
+	if got := in.Stats(); got.LinkKills != 1 || got.Restores != 0 {
+		t.Errorf("stats after kill = %+v, want LinkKills=1 Restores=0", got)
+	}
+
+	engine.RunUntil(1600 * sim.Microsecond)
+	if egress.LinkDown() || b.NIC().LinkDown() {
+		t.Fatal("link still down after the scheduled restore")
+	}
+	if got := in.Stats(); got.Restores != 1 {
+		t.Errorf("Restores = %d, want 1", got.Restores)
+	}
+
+	// Reconverged and healthy: the reliable flow must be moving again.
+	delivered := f.DeliveredBytes()
+	engine.RunUntil(4 * sim.Millisecond)
+	if f.DeliveredBytes() <= delivered {
+		t.Error("flow did not resume after restore")
+	}
+	if detail, ok := net.RoutesComplete(); !ok {
+		t.Errorf("routes incomplete after restore: %s", detail)
+	}
+	f.Stop()
+}
+
+func TestKillSwitchSchedulesFailAndRestore(t *testing.T) {
+	engine, net, a, b, sw := pair()
+	in := New(net, 7)
+	f := net.StartFlow(a, b, netsim.FlowConfig{Size: -1, Reliable: true})
+	in.KillSwitch(sw, 500*sim.Microsecond, 1500*sim.Microsecond)
+
+	engine.RunUntil(sim.Millisecond)
+	if _, ok := net.RoutesComplete(); ok {
+		t.Fatal("RoutesComplete passed while the only switch was dead")
+	}
+	if got := in.Stats(); got.SwitchKills != 1 {
+		t.Errorf("SwitchKills = %d, want 1", got.SwitchKills)
+	}
+
+	delivered := f.DeliveredBytes()
+	engine.RunUntil(4 * sim.Millisecond)
+	if got := in.Stats(); got.Restores != 1 {
+		t.Errorf("Restores = %d, want 1", got.Restores)
+	}
+	if f.DeliveredBytes() <= delivered {
+		t.Error("flow did not resume after the switch came back")
+	}
+	f.Stop()
+}
+
+func TestKillLinkPermanentWhenNoRestore(t *testing.T) {
+	engine, net, _, b, sw := pair()
+	in := New(net, 7)
+	in.KillLink(sw.PortTo(b), b.NIC(), 100*sim.Microsecond, 0)
+	engine.RunUntil(5 * sim.Millisecond)
+	if !sw.PortTo(b).LinkDown() {
+		t.Error("permanent kill (restoreAt=0) came back up")
+	}
+	if got := in.Stats(); got.LinkKills != 1 || got.Restores != 0 {
+		t.Errorf("stats = %+v, want LinkKills=1 Restores=0", got)
+	}
+}
+
+func TestValidateKillRejectsBadSchedules(t *testing.T) {
+	if err := ValidateKill(-1, 0); err == nil {
+		t.Error("negative kill time accepted")
+	}
+	if err := ValidateKill(100, 100); err == nil {
+		t.Error("restore at the kill instant accepted")
+	}
+	if err := ValidateKill(100, 50); err == nil {
+		t.Error("restore before the kill accepted")
+	}
+	if err := ValidateKill(100, 0); err != nil {
+		t.Errorf("permanent kill rejected: %v", err)
+	}
+	if err := ValidateKill(100, 200); err != nil {
+		t.Errorf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestKillLinkMismatchedPortsPanics(t *testing.T) {
+	_, net, a, _, sw := pair()
+	in := New(net, 7)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("KillLink with ports of two different links did not panic")
+		}
+		if !strings.Contains(r.(string), "one link") {
+			t.Errorf("unexpected panic: %v", r)
+		}
+	}()
+	// a's NIC and the switch's port toward a's *peer* end is fine; pass a
+	// port from the wrong link instead.
+	in.KillLink(a.NIC(), sw.PortTo(a), 0, 0) // valid pairing first (sanity)
+	in.KillLink(a.NIC(), a.NIC(), 0, 0)      // same port twice: not a link's two ends
+}
+
+// TestZeroKillPlanIdentical: attaching an injector with no kill schedule
+// must leave the run byte-for-byte identical to no injector at all, for
+// every time step — the topology-failure layer costs nothing when idle.
+func TestZeroKillPlanIdentical(t *testing.T) {
+	run := func(withInjector bool) (int64, sim.Time, uint64) {
+		engine, net, a, b, _ := pair()
+		if withInjector {
+			New(net, 99)
+		}
+		f := net.StartFlow(a, b, netsim.FlowConfig{Size: 300_000, Reliable: true})
+		engine.RunUntil(5 * sim.Millisecond)
+		if !f.Done() {
+			t.Fatal("flow incomplete")
+		}
+		return f.DeliveredBytes(), f.FCT(), net.Reconverges()
+	}
+	bytes0, t0, r0 := run(false)
+	bytes1, t1, r1 := run(true)
+	if bytes0 != bytes1 || t0 != t1 || r0 != r1 {
+		t.Errorf("zero-kill run diverged: (%d, %v, %d) vs (%d, %v, %d)",
+			bytes0, t0, r0, bytes1, t1, r1)
+	}
+	if r0 != 0 {
+		t.Errorf("reconverges = %d without any topology event", r0)
+	}
+}

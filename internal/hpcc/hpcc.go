@@ -211,6 +211,34 @@ func (cc *FlowCC) computeWind(u float64, updateWc bool) {
 	}
 }
 
+// OnReroute implements netsim.RouteAware: after a route reconvergence
+// the flow's ACKs may echo INT records from a different hop sequence, so
+// the stored baseline no longer pairs hop-for-hop with fresh telemetry.
+// Dropping it makes the next ACK re-baseline (the same path OnAck takes
+// when the INT stack changes length); the windows wc/w survive, so the
+// flow keeps pacing at its last estimate until real measurements arrive.
+func (cc *FlowCC) OnReroute(now sim.Time) {
+	cc.haveBaseline = false
+	cc.lastINT = cc.lastINT[:0]
+}
+
+// OnRewind implements netsim.RetxAware: a go-back-N rewind declared every
+// byte at or above seq lost, so they leave the in-flight account. Without
+// this a blackhole window (failed link or switch) pins inflight at W and
+// Allow blocks the retransmissions that would free it.
+func (cc *FlowCC) OnRewind(now sim.Time, seq int64) {
+	if seq >= cc.sentHigh {
+		return
+	}
+	cc.sentHigh = seq
+	if cc.sentHigh < cc.acked {
+		cc.sentHigh = cc.acked
+	}
+	if cc.lastUpdateSeq > cc.sentHigh {
+		cc.lastUpdateSeq = cc.sentHigh
+	}
+}
+
 // OnCNP implements netsim.FlowCC. HPCC has no CNPs.
 func (cc *FlowCC) OnCNP(now sim.Time, pkt *netsim.Packet) {}
 

@@ -55,6 +55,32 @@ func (NoCC) OnCNP(sim.Time, *Packet) {}
 // CurrentRate reports an effectively unlimited rate.
 func (NoCC) CurrentRate() Rate { return Rate(1e15) }
 
+// RouteAware is an optional FlowCC extension for controllers whose state
+// encodes properties of the flow's path. After every route reconvergence
+// (a topology failure or restore followed by ReconvergeDelay — see
+// topofail.go) the network calls OnReroute on every registered flow that
+// implements it, in FlowID order. Implementations should discard
+// path-bound state: RoCC re-homes its congestion point through the
+// staleness machinery, HPCC drops its INT baseline, TIMELY resets its
+// RTT gradient. The callback is advisory — the path may in fact be
+// unchanged — so reactions must be safe under false positives.
+type RouteAware interface {
+	OnReroute(now sim.Time)
+}
+
+// RetxAware is an optional FlowCC extension for window-based controllers
+// driving reliable (go-back-N) flows. OnRewind reports that the transport
+// declared every byte at or above seq lost and is about to retransmit it
+// from seq. A window controller must drop those bytes from its in-flight
+// accounting: after a blackhole window (a failed link or switch) the lost
+// bytes never ACK, so without this callback inflight stays pinned at the
+// window and Allow blocks the very retransmissions that would free it —
+// a permanent wedge. Rate-based controllers keep pacing regardless and
+// do not need this.
+type RetxAware interface {
+	OnRewind(now sim.Time, seq int64)
+}
+
 // PortCC is the switch-side congestion-control attachment for one egress
 // port: ECN marking (DCQCN), INT stamping (HPCC), or the RoCC congestion
 // point's flow table. Periodic behaviour (the RoCC fair-rate timer) is

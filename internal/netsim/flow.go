@@ -208,6 +208,9 @@ func (f *Flow) rewind(now sim.Time, seq int64) {
 	f.RetxBytes += f.nextSeq - seq
 	f.net.RetxBytesTotal += f.nextSeq - seq
 	f.nextSeq = seq
+	if cc, ok := f.CC.(RetxAware); ok {
+		cc.OnRewind(now, seq)
+	}
 }
 
 // onDataArrive runs at the receiving host.

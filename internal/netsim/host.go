@@ -164,7 +164,9 @@ func (h *Host) Arrive(pkt *Packet, inPort int) {
 	now := h.net.Engine.Now()
 	switch pkt.Kind {
 	case KindPause:
-		h.port.SetPaused(pkt.PauseOn)
+		if h.port.acceptPause(pkt) {
+			h.port.SetPaused(pkt.PauseOn)
+		}
 		h.net.ReleasePacket(pkt)
 	case KindData:
 		h.RxDataBytes += uint64(pkt.Size)

@@ -55,6 +55,29 @@ type Network struct {
 	// uses 8 for HPCC); zero leaves the slices nil until first use.
 	INTHopCap int
 
+	// ReconvergeDelay is how long after a FailLink/FailSwitch/Restore
+	// event the routing tables are recomputed (the control plane's
+	// detection + reconvergence time). Zero selects
+	// DefaultReconvergeDelay. Packets in the window that reach a switch
+	// with no surviving ECMP entry blackhole deterministically.
+	ReconvergeDelay sim.Time
+
+	// MaxHops bounds how many switches a packet may traverse before it is
+	// dropped as looping (a TTL). Transient routing states can only loop
+	// while tables are inconsistent; the cap turns that into a
+	// deterministic terminal drop. Zero selects DefaultMaxHops.
+	MaxHops int
+
+	// routesDynamic flips on at the first topology event. Before that, a
+	// missing route is a wiring bug and panics; after, it is a blackhole
+	// window and packets are dropped with a terminal pool release.
+	routesDynamic bool
+
+	// reconverges counts route recomputations; stalePauseDrops counts PFC
+	// frames discarded because they predate their link's re-establishment.
+	reconverges     uint64
+	stalePauseDrops uint64
+
 	// pool recycles Packet structs; see pool.go for the lifecycle contract.
 	pool packetPool
 
@@ -145,7 +168,10 @@ func (n *Network) attach(node Node, p *Port) {
 }
 
 // ComputeRoutes builds shortest-path ECMP routing tables for every host
-// destination. Call after the topology is complete.
+// destination, over the live links only (downed links and failed
+// switches carry no routes). Call after the topology is complete; the
+// reconvergence machinery (topofail.go) calls it again after every
+// FailLink/FailSwitch/Restore window.
 func (n *Network) ComputeRoutes() {
 	for _, s := range n.switches {
 		s.routes = make(map[NodeID][]int)
@@ -153,12 +179,18 @@ func (n *Network) ComputeRoutes() {
 	for _, dst := range n.hosts {
 		dist := n.bfs(dst)
 		for _, s := range n.switches {
+			if s.failed {
+				continue
+			}
 			ds, ok := dist[s.id]
 			if !ok {
 				continue
 			}
 			var next []int
 			for i, p := range s.ports {
+				if p.linkDown {
+					continue
+				}
 				if dp, ok := dist[p.PeerNode.ID()]; ok && dp == ds-1 {
 					next = append(next, i)
 				}
@@ -170,7 +202,7 @@ func (n *Network) ComputeRoutes() {
 	}
 }
 
-// bfs returns hop distances from every node to dst.
+// bfs returns hop distances from every node to dst over live links.
 func (n *Network) bfs(dst Node) map[NodeID]int {
 	dist := map[NodeID]int{dst.ID(): 0}
 	queue := []Node{dst}
@@ -179,7 +211,10 @@ func (n *Network) bfs(dst Node) map[NodeID]int {
 		queue = queue[1:]
 		for _, p := range cur.Ports() {
 			peer := p.PeerNode
-			if peer == nil {
+			if peer == nil || p.linkDown {
+				continue
+			}
+			if s, ok := peer.(*Switch); ok && s.failed {
 				continue
 			}
 			if _, seen := dist[peer.ID()]; !seen {
@@ -297,3 +332,44 @@ func (n *Network) TotalDrops() int {
 	}
 	return total
 }
+
+// BlackholeDrops sums packets dropped at switches that had no surviving
+// route for the destination (topology-failure windows).
+func (n *Network) BlackholeDrops() uint64 {
+	total := uint64(0)
+	for _, s := range n.switches {
+		total += s.BlackholeDrops
+	}
+	return total
+}
+
+// LoopDrops sums packets dropped for exceeding the hop cap.
+func (n *Network) LoopDrops() uint64 {
+	total := uint64(0)
+	for _, s := range n.switches {
+		total += s.LoopDrops
+	}
+	return total
+}
+
+// LinkDownDrops sums packets lost serializing into downed links, across
+// every switch port and host NIC.
+func (n *Network) LinkDownDrops() uint64 {
+	total := uint64(0)
+	for _, s := range n.switches {
+		for _, p := range s.ports {
+			total += p.LinkDownDrops
+		}
+	}
+	for _, h := range n.hosts {
+		total += h.port.LinkDownDrops
+	}
+	return total
+}
+
+// Reconverges returns how many route recomputations have completed.
+func (n *Network) Reconverges() uint64 { return n.reconverges }
+
+// StalePauseDrops returns how many PFC frames were discarded because
+// they predate the receiving link's last re-establishment.
+func (n *Network) StalePauseDrops() uint64 { return n.stalePauseDrops }

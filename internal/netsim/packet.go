@@ -118,6 +118,7 @@ type Packet struct {
 	SendTS sim.Time // when the packet was first put on the wire
 
 	ingress int // transient: arrival port at the switch currently buffering it
+	hops    int // transient: switches traversed, for the loop-drop TTL
 
 	// cnpStore is the pool-cycle-stable backing for CNP: pooled packets
 	// point CNP at their own embedded record (see EnsureCNP) so carrying

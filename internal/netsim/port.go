@@ -43,7 +43,8 @@ type Port struct {
 	// into a bounded ring for debugging.
 	Tracer *Tracer
 
-	linkDown bool // packets transmitted while down are lost
+	linkDown bool     // packets transmitted while down are lost
+	upSince  sim.Time // when the link last (re-)established at this end
 
 	// Counters.
 	TxBytes       uint64 // all classes
@@ -94,8 +95,14 @@ func (p *Port) SetLinkDown(down bool) {
 	}
 	p.linkDown = down
 	if down {
+		// Pause state dies with the link: the span ends here, so a long
+		// outage reads as an outage (LinkDownDrops), not a pause storm.
+		if p.paused {
+			p.SetPaused(false)
+		}
 		return
 	}
+	p.upSince = p.net.Engine.Now()
 	if p.paused {
 		p.SetPaused(false)
 	}
@@ -275,7 +282,24 @@ func (p *Port) sendPauseFrame(on bool) {
 	pkt.Cls = ClassCtrl
 	pkt.Size = PauseBytes
 	pkt.PauseOn = on
+	pkt.SendTS = p.net.Engine.Now()
 	p.deliver(pkt, p.LinkRate.TxTime(PauseBytes)+p.PropDelay)
+}
+
+// acceptPause decides whether an arriving PFC frame may change this
+// port's pause state. Pause state is link-local and does not survive a
+// flap (SetLinkDown already resets it at link-up), so a frame serialized
+// before the link's last re-establishment is stale: honoring a pre-flap
+// Xoff after the reset would re-pause the port with no matching resume
+// on record upstream — a permanent deadlock. The same applies while the
+// link is down: the physical layer that would carry the frame is gone.
+func (p *Port) acceptPause(pkt *Packet) bool {
+	if p.linkDown || pkt.SendTS < p.upSince {
+		p.net.stalePauseDrops++
+		p.net.tm.stalePauseDrops.Inc()
+		return false
+	}
+	return true
 }
 
 // Utilization returns the fraction of link capacity used by transmissions

@@ -69,11 +69,20 @@ type Switch struct {
 	// CP stall windows and probabilistic feedback loss. Nil admits all.
 	InjectGate func(pkt *Packet) bool
 
+	// failed marks a switch killed by FailSwitch: its table is cleared and
+	// ComputeRoutes skips it until RestoreSwitch (see topofail.go).
+	failed bool
+
 	// Counters.
 	PauseFrames   int // Xoff frames sent (the paper's "PFC activations")
 	ResumeFrames  int
 	Drops         int
 	MaxBufferUsed int
+
+	// BlackholeDrops counts packets with no surviving route (topology
+	// failure windows); LoopDrops counts packets that exceeded the hop cap.
+	BlackholeDrops uint64
+	LoopDrops      uint64
 }
 
 // ID returns the switch's node id.
@@ -108,16 +117,36 @@ func (s *Switch) addPort(p *Port) {
 
 // Arrive implements Node. Pause frames are absorbed (and released) here;
 // everything else is handed on to an egress queue, except tail drops,
-// which are the packet's terminal point.
+// blackhole drops and loop drops, which are the packet's terminal point.
 func (s *Switch) Arrive(pkt *Packet, inPort int) {
 	pkt.checkLive("switch arrive")
 	if pkt.Kind == KindPause {
+		if !s.ports[inPort].acceptPause(pkt) {
+			s.net.ReleasePacket(pkt)
+			return
+		}
 		s.ports[inPort].SetPaused(pkt.PauseOn)
+		s.net.ReleasePacket(pkt)
+		return
+	}
+	pkt.hops++
+	if pkt.hops > s.net.maxHops() {
+		s.LoopDrops++
+		s.net.recordLoopDrop(s, pkt)
 		s.net.ReleasePacket(pkt)
 		return
 	}
 	egress := s.egressFor(pkt)
 	if egress == nil {
+		if s.net.routesDynamic {
+			// A topology event removed every route for this destination:
+			// the packet falls into the blackhole window and is released
+			// here, before any buffer accounting.
+			s.BlackholeDrops++
+			s.net.recordBlackhole(s, pkt)
+			s.net.ReleasePacket(pkt)
+			return
+		}
 		panic("netsim: switch " + s.Name + " has no route for packet destination")
 	}
 	if pkt.Kind != KindData {
@@ -223,6 +252,12 @@ func (s *Switch) Inject(pkt *Packet) {
 	}
 	egress := s.egressFor(pkt)
 	if egress == nil {
+		if s.net.routesDynamic {
+			s.BlackholeDrops++
+			s.net.recordBlackhole(s, pkt)
+			s.net.ReleasePacket(pkt)
+			return
+		}
 		panic("netsim: switch " + s.Name + " has no route for injected packet")
 	}
 	egress.Enqueue(pkt)

@@ -19,6 +19,13 @@ type netMetrics struct {
 	pfcStorm      *telemetry.Counter   // completed pauses >= PauseStormSpan
 	queueDepth    *telemetry.Histogram // bytes, sampled at data enqueue
 	pauseSpans    *telemetry.Histogram // ns per completed PFC pause
+
+	// Topology-failure instruments (topofail.go).
+	reconverges       *telemetry.Counter   // route recomputations completed
+	blackholeDrops    *telemetry.Counter   // no-route drops in failure windows
+	loopDrops         *telemetry.Counter   // hop-cap (TTL) drops
+	stalePauseDrops   *telemetry.Counter   // pre-flap PFC frames discarded
+	reconvergeLatency *telemetry.Histogram // ns from topology event to recompute
 }
 
 // SetTelemetry attaches a metrics registry and an optional flight
@@ -39,6 +46,12 @@ func (n *Network) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder)
 		pfcStorm:      reg.Counter("netsim.pfc.pause_storm"),
 		queueDepth:    reg.Histogram("netsim.queue_depth_bytes"),
 		pauseSpans:    reg.Histogram("netsim.pfc_pause_ns"),
+
+		reconverges:       reg.Counter("netsim.route.reconverges"),
+		blackholeDrops:    reg.Counter("netsim.route.blackhole_drops"),
+		loopDrops:         reg.Counter("netsim.route.loop_drops"),
+		stalePauseDrops:   reg.Counter("netsim.pfc.stale_pause_drops"),
+		reconvergeLatency: reg.Histogram("netsim.route.reconverge_ns"),
 	}
 	if reg == nil {
 		return

@@ -173,6 +173,15 @@ func (cc *FlowCC) OnCNP(now sim.Time, pkt *netsim.Packet) {
 	}
 }
 
+// OnReroute implements netsim.RouteAware: a route reconvergence may have
+// moved the flow onto a path with different congestion points, so the
+// pinned CP's fair rate is suspect. Re-homing rides the existing StaleK
+// machinery — SuspectStale is a no-op when staleness handling is
+// disabled, preserving byte-identity for fabrics that opt out.
+func (cc *FlowCC) OnReroute(now sim.Time) {
+	cc.rp.SuspectStale()
+}
+
 // recordRate files the RP's current rate as a per-flow counter track, so
 // the Chrome trace shows each flow's rate trajectory next to the CP's
 // fair-rate signal and the queue depth.

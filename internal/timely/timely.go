@@ -136,6 +136,18 @@ func (cc *FlowCC) OnAck(now sim.Time, pkt *netsim.Packet) {
 	cc.host.Kick()
 }
 
+// OnReroute implements netsim.RouteAware: after a route reconvergence
+// the flow's RTT baseline describes the old path — the first sample on
+// the new path would register as a huge (possibly negative) gradient and
+// trigger a spurious HAI ramp or multiplicative decrease. Resetting the
+// gradient state makes the next ACK a fresh baseline sample; the rate
+// itself survives, so the flow keeps pacing while it re-learns.
+func (cc *FlowCC) OnReroute(now sim.Time) {
+	cc.haveRTT = false
+	cc.rttDiff = 0
+	cc.negCount = 0
+}
+
 // OnCNP implements netsim.FlowCC. TIMELY has no CNPs.
 func (cc *FlowCC) OnCNP(now sim.Time, pkt *netsim.Packet) {}
 
