@@ -7,7 +7,7 @@
 //
 // Experiments: fig5 fig6 fig7a fig7b fig8 fig9 fig11 fig12a fig12b fig13
 // fig14 fig15 fig16 table3 fig17 fig18 fig19 fig20 qos table1 faults
-// recovery rollout soak all (default fig8)
+// recovery rollout collective soak all (default fig8)
 //
 // Flags:
 //
@@ -36,12 +36,22 @@
 //	-link-flap faults: link-flap period (0 = default 5 ms, down 10% of it)
 //	-mix       rollout: protocol mix for a single run, e.g.
 //	           rocc:0.5,dcqcn:0.5 (empty = RoCC-fraction sweep)
+//	-pattern   collective: ring|tree|alltoall|ps (default ring)
+//	-ranks     collective: participant count (default 8)
+//	-msg       collective: message bytes per participant (default 1 MiB)
+//	-chunks    collective: pipeline chunks per message (default 2)
+//	-iters     collective: iterations (default 4)
+//	-coll-mode collective: run one operating mode instead of sweeping
+//	           hybrid/pfconly/cconly
+//	-kill      collective: none|link (kill an uplink mid-run and restore)
 //	-count     soak: number of scenarios (0 = until -budget, or 100)
 //	-budget    soak: wall-clock budget for the campaign (0 = unlimited)
 //	-soak-out  soak: directory for minimized repros (config JSON + trace)
 //	-shrink    soak: delta-debug failing scenarios (default true)
 //	-fault-scale soak: fault intensity (1 = default mix, 0 = clean)
 //	-mix-prob  soak: probability a scenario mixes two protocols (default 0.25)
+//	-mode-prob soak: probability a scenario runs in a non-default operating
+//	           mode (PFC-only or CC-only lossy; default 0.25)
 package main
 
 import (
@@ -141,7 +151,7 @@ func emitBins(name, protocol string, bins []stats.BinStat) {
 func main() {
 	flag.Parse()
 	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|recovery|rollout|soak|all]")
+		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|recovery|rollout|collective|soak|all]")
 		os.Exit(2)
 	}
 	name := "fig8" // the canonical single-bottleneck experiment
@@ -313,6 +323,8 @@ func run(name string) {
 		runRecoveryExp()
 	case "rollout":
 		runRollout()
+	case "collective":
+		runCollective()
 	case "soak":
 		runSoak()
 	default:

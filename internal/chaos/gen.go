@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"rocc/internal/experiments"
+	"rocc/internal/netsim"
 	"rocc/internal/sim"
 	"rocc/internal/workload"
 )
@@ -49,6 +50,13 @@ type GenOptions struct {
 	// kill replaces any flap faults the base drew (link-state ownership
 	// is exclusive; Validate rejects the combination).
 	FailProb float64
+
+	// ModeProb is the probability a scenario runs in a non-default
+	// operating mode (PFC-only or CC-only lossy, drawn evenly). It too
+	// draws from its own salted RNG stream: the base scenario a seed
+	// generates is byte-identical whether or not the mode dimension is
+	// enabled.
+	ModeProb float64
 }
 
 func (o GenOptions) withDefaults() GenOptions {
@@ -101,6 +109,7 @@ func Generate(seed int64, opts GenOptions) Scenario {
 	}
 	mixProtocols(seed, o, &sc)
 	overlayKill(seed, o, &sc)
+	overlayMode(seed, o, &sc)
 	return sc
 }
 
@@ -192,6 +201,36 @@ func overlayKill(seed int64, o GenOptions, sc *Scenario) {
 		f.Switch = r.Intn(sc.Topology.switchCount())
 	}
 	sc.Faults = append(sc.Faults, f)
+}
+
+// modeSeedSalt decorrelates the operating-mode overlay from the base
+// stream and the other overlays, keeping existing seeds byte-identical.
+const modeSeedSalt = 0x6d6f6465 // "mode"
+
+// overlayMode switches the scenario to a non-default loss discipline
+// with probability ModeProb, drawn evenly between PFC-only and CC-only
+// lossy. The mode is recorded in the scenario JSON, so a shrunk repro
+// carries it like any other dimension.
+func overlayMode(seed int64, o GenOptions, sc *Scenario) {
+	if o.ModeProb <= 0 {
+		return
+	}
+	r := sim.NewRand(seed ^ modeSeedSalt)
+	if r.Float64() >= o.ModeProb {
+		return
+	}
+	if r.Intn(2) == 0 {
+		sc.Mode = netsim.ModePFCOnly.String()
+		return
+	}
+	sc.Mode = netsim.ModeCCOnlyLossy.String()
+	// A lossy fabric tail-drops; only go-back-N transfers can always
+	// finish, and the conservation/completion invariants assume finite
+	// flows do. Same forcing the kill overlay applies to persistent
+	// flows, recorded explicitly in the JSON.
+	for i := range sc.Flows {
+		sc.Flows[i].Reliable = true
+	}
 }
 
 func genTopology(r *sim.Rand, kind string) TopologySpec {

@@ -134,10 +134,27 @@ func checkQueueBound(rt *Runtime, o RunOptions) (string, bool) {
 // when S's port toward T is paused (T told S to stop). A cycle means no
 // switch in it can ever drain — the canonical PFC deadlock.
 func checkPFCDeadlock(rt *Runtime, _ RunOptions) (string, bool) {
+	// Under hybrid CC an instantaneous cycle is already pathological —
+	// converged control keeps queues far from Xoff, so two switches
+	// pausing each other means wedged state. PFC-only has no controller:
+	// standing congestion makes momentary mutual pauses routine, and
+	// Xon hysteresis resolves them. There a cycle only counts if it
+	// outlives the run — the post-drain stuck_queue and stale_pause
+	// checkers catch exactly that.
+	if rt.Scenario.OperatingMode() == netsim.ModePFCOnly {
+		return "", false
+	}
 	if cycle := pauseWaitCycle(rt.Net.Switches()); cycle != "" {
 		return "pause-wait cycle: " + cycle, true
 	}
 	return "", false
+}
+
+// PauseWaitCycle detects a directed cycle in the switch pause-wait
+// graph, returning a printable cycle or "". Exported for probes outside
+// the soak (the collective experiments watch for deadlock with it).
+func PauseWaitCycle(switches []*netsim.Switch) string {
+	return pauseWaitCycle(switches)
 }
 
 // pauseWaitCycle detects a directed cycle in the switch pause-wait
@@ -310,6 +327,13 @@ func checkPacketAccountingFinal(rt *Runtime, _ RunOptions) (string, bool) {
 // experiments measure and no scheme guarantees.
 func checkFairness(rt *Runtime, o RunOptions) (string, bool) {
 	if len(rt.Scenario.Faults) > 0 || rt.Scenario.Topology.Kind != TopoStar {
+		return "", false
+	}
+	// Fair convergence is a congestion-control promise, and only the
+	// hybrid discipline makes it cleanly: PFC-only has no controller
+	// (pause fairness is famously poor — that asymmetry is a finding,
+	// not a bug), and lossy timeouts skew shares.
+	if rt.Scenario.OperatingMode() != netsim.ModeHybrid {
 		return "", false
 	}
 	groups := make(map[string][]float64)

@@ -122,6 +122,7 @@ func Run(sc Scenario, opts RunOptions) (Result, error) {
 	}
 
 	protos := sc.Protocols()
+	mode := sc.OperatingMode()
 	mix := experiments.NewMix(net, 0)
 	// Faulted runs lose CNPs; give RoCC flows the paper's staleness
 	// re-homing so feedback loss degrades instead of wedging.
@@ -130,9 +131,11 @@ func Run(sc Scenario, opts RunOptions) (Result, error) {
 		mix.Activate(p)
 	}
 	stack := mix.Use(protos[0])
-	mix.EnableAllSwitchPorts()
-	for _, h := range net.Hosts() {
-		mix.AttachReceivers(h)
+	if mode.CCEnabled() {
+		mix.EnableAllSwitchPorts()
+		for _, h := range net.Hosts() {
+			mix.AttachReceivers(h)
+		}
 	}
 
 	rt := &Runtime{
@@ -158,7 +161,18 @@ func Run(sc Scenario, opts RunOptions) (Result, error) {
 			if fs.MaxRateMbps > 0 {
 				rateCap = netsim.Mbps(fs.MaxRateMbps)
 			}
-			f := mix.StartCustomFlow(sc.FlowProtocol(i), src, dst, fs.SizeBytes, rateCap, fs.Reliable)
+			var f *netsim.Flow
+			if mode.CCEnabled() {
+				f = mix.StartCustomFlow(sc.FlowProtocol(i), src, dst, fs.SizeBytes, rateCap, fs.Reliable)
+			} else {
+				// PFC-only: no controller — sources blast at their caps and
+				// hop-by-hop pause is the only brake.
+				f = net.StartFlow(src, dst, netsim.FlowConfig{
+					Size:     fs.SizeBytes,
+					MaxRate:  rateCap,
+					Reliable: fs.Reliable,
+				})
+			}
 			rt.Flows[i] = f
 			if cc, ok := f.CC.(*roccnet.FlowCC); ok {
 				rt.RoCCRPs = append(rt.RoCCRPs, cc.RP())

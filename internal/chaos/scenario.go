@@ -112,6 +112,11 @@ type Scenario struct {
 	Flows  []FlowSpec  `json:"flows"`
 	Faults []FaultSpec `json:"faults,omitempty"`
 
+	// Mode is the fabric's operating mode (netsim.ParseOperatingMode
+	// names). Empty is hybrid — the historical default, so every seed
+	// generated before the mode dimension existed replays byte-identical.
+	Mode string `json:"mode,omitempty"`
+
 	// Buffer overrides applied to every switch; zero keeps the
 	// topology's lossless defaults. Setting PFCThresholdBytes above
 	// BufferBytes is the canonical planted violation: pause can never
@@ -122,6 +127,13 @@ type Scenario struct {
 
 // Duration returns the scenario length in engine time.
 func (sc Scenario) Duration() sim.Time { return sim.Time(sc.DurationNs) }
+
+// OperatingMode resolves the scenario's loss discipline. Call only on
+// validated scenarios (unknown names degrade to hybrid).
+func (sc Scenario) OperatingMode() netsim.OperatingMode {
+	m, _ := netsim.ParseOperatingMode(sc.Mode)
+	return m
+}
 
 // FlowProtocol resolves flow i's protocol: its own override when set,
 // the scenario protocol otherwise. Call only on validated scenarios.
@@ -220,6 +232,9 @@ func (t TopologySpec) validate() error {
 // same way faults.LinkConfig.Validate guards the injector.
 func (sc Scenario) Validate() error {
 	if _, err := experiments.ParseProtocol(sc.Protocol); err != nil {
+		return err
+	}
+	if _, err := netsim.ParseOperatingMode(sc.Mode); err != nil {
 		return err
 	}
 	if err := sc.Topology.validate(); err != nil {
@@ -404,6 +419,19 @@ func (sc Scenario) buildFabric(engine *sim.Engine) *fabric {
 				s.Buffer.PFCResume = 0
 			}
 			if sc.BufferBytes > 0 {
+				s.Buffer.TotalBytes = sc.BufferBytes
+			}
+		}
+	}
+	// The operating mode rewrites buffer configs last, deriving from the
+	// (possibly overridden) thresholds. Hybrid applies nothing: it is the
+	// builders' default, and planted buffer violations must survive as
+	// planted.
+	if mode := sc.OperatingMode(); mode != netsim.ModeHybrid {
+		mode.Apply(f.net.Switches())
+		if mode == netsim.ModeCCOnlyLossy && sc.BufferBytes > 0 {
+			// An explicit buffer override outranks the mode's 3x sizing.
+			for _, s := range f.net.Switches() {
 				s.Buffer.TotalBytes = sc.BufferBytes
 			}
 		}

@@ -60,6 +60,7 @@ func Shrink(sc Scenario, invariant string, opts RunOptions, maxRuns int) ShrinkR
 		})
 		cur = shrinkDuration(cur, trips)
 		cur = compactStar(cur, trips)
+		cur = shrinkMode(cur, trips)
 
 		if shrinkSize(cur) >= before || budget <= 0 {
 			break
@@ -148,6 +149,21 @@ func shrinkDuration(sc Scenario, trips func(Scenario) bool) Scenario {
 			break
 		}
 		sc = c
+	}
+	return sc
+}
+
+// shrinkMode drops a non-default operating mode when the violation
+// reproduces without it: a repro that trips in plain hybrid is simpler
+// than one that needs the mode dimension.
+func shrinkMode(sc Scenario, trips func(Scenario) bool) Scenario {
+	if sc.Mode == "" {
+		return sc
+	}
+	c := sc
+	c.Mode = ""
+	if trips(c) {
+		return c
 	}
 	return sc
 }

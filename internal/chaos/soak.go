@@ -78,10 +78,21 @@ type Verdict struct {
 	// scenario is mixed (primary first); empty for single-protocol runs.
 	Protocols []string `json:"protocols,omitempty"`
 	Topology  string   `json:"topology"`
-	Flows     int      `json:"flows"`
-	Faults    int      `json:"faults"`
-	Result    Result   `json:"result"`
-	Err       string   `json:"err,omitempty"`
+	// Mode is the operating mode; empty means hybrid (the default).
+	Mode   string `json:"mode,omitempty"`
+	Flows  int    `json:"flows"`
+	Faults int    `json:"faults"`
+	Result Result `json:"result"`
+	Err    string `json:"err,omitempty"`
+}
+
+// ModeLabel names the scenario's operating mode, spelling out the
+// default instead of an empty string.
+func (v Verdict) ModeLabel() string {
+	if v.Mode == "" {
+		return "hybrid"
+	}
+	return v.Mode
 }
 
 // ProtocolLabel names the scenario's protocol set: the primary protocol,
@@ -117,6 +128,7 @@ type Report struct {
 	Scenarios int
 	Failures  int
 	Mixed     int // scenarios running ≥2 protocols on one fabric
+	Moded     int // scenarios in a non-default operating mode
 	Verdicts  []Verdict
 	Repros    []Repro
 }
@@ -158,6 +170,7 @@ func Soak(opts SoakOptions) Report {
 				Seed:     sc.Seed,
 				Protocol: sc.Protocol,
 				Topology: sc.Topology.Kind,
+				Mode:     sc.Mode,
 				Flows:    len(sc.Flows),
 				Faults:   len(sc.Faults),
 			}
@@ -185,6 +198,9 @@ func Soak(opts SoakOptions) Report {
 			}
 			if len(v.Protocols) > 1 {
 				rep.Mixed++
+			}
+			if v.Mode != "" {
+				rep.Moded++
 			}
 			rep.Verdicts = append(rep.Verdicts, v)
 			if o.OnScenario != nil {

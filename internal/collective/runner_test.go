@@ -1,0 +1,131 @@
+package collective
+
+import (
+	"testing"
+
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+	"rocc/internal/topology"
+)
+
+// The barrier invariant: no flow of step N+1 starts before the last
+// flow of step N has delivered its final byte.
+func TestRunnerBarrierSemantics(t *testing.T) {
+	engine := sim.New()
+	hostRate := netsim.Gbps(40)
+	ft := topology.BuildFatTree(engine, 1, topology.FatTreeConfig{
+		Cores: 2, Edges: 2, HostsPerEdge: 2, LinksPerPair: 1,
+		HostRate: hostRate, CoreRate: hostRate,
+	})
+	net := ft.Net
+	hosts := []*netsim.Host{ft.Hosts[0][0], ft.Hosts[1][0], ft.Hosts[0][1], ft.Hosts[1][1]}
+
+	cfg := Config{Pattern: Ring, Participants: 4, MessageBytes: 256 << 10, Iterations: 2}
+	stepSize := 4 // ring: one transfer per rank per step
+
+	type ev struct {
+		id netsim.FlowID
+		at sim.Time
+	}
+	var starts, dones []ev
+	// Install before Begin so the runner's chained hook runs first and
+	// this one still sees every completion.
+	net.OnFlowDone = func(f *netsim.Flow) {
+		dones = append(dones, ev{f.ID, engine.Now()})
+	}
+
+	r := &Runner{
+		Cfg: cfg,
+		Start: func(tr Transfer) *netsim.Flow {
+			f := net.StartFlow(hosts[tr.From], hosts[tr.To], netsim.FlowConfig{Size: tr.Bytes})
+			starts = append(starts, ev{f.ID, engine.Now()})
+			return f
+		},
+	}
+	r.Begin(net)
+	engine.RunUntil(sim.Second)
+
+	res := r.Result()
+	if res.Stalled {
+		t.Fatalf("collective stalled at iter %d step %d", res.PendingIter, res.PendingStep)
+	}
+	if res.Completed != 2 {
+		t.Fatalf("completed %d iterations, want 2", res.Completed)
+	}
+	wantSteps := 2 * 2 * (4 - 1) // iterations x 2(N-1)
+	if len(res.Steps) != wantSteps {
+		t.Fatalf("recorded %d steps, want %d", len(res.Steps), wantSteps)
+	}
+	if len(starts) != wantSteps*stepSize {
+		t.Fatalf("started %d flows, want %d", len(starts), wantSteps*stepSize)
+	}
+
+	doneAt := make(map[netsim.FlowID]sim.Time)
+	for _, d := range dones {
+		doneAt[d.id] = d.at
+	}
+	// Start calls arrive in step order; group them and compare each
+	// group's start instant with the previous group's last completion.
+	for g := 1; g < wantSteps; g++ {
+		var prevLastDone sim.Time
+		for _, s := range starts[(g-1)*stepSize : g*stepSize] {
+			at, ok := doneAt[s.id]
+			if !ok {
+				t.Fatalf("flow %d never completed", s.id)
+			}
+			if at > prevLastDone {
+				prevLastDone = at
+			}
+		}
+		for _, s := range starts[g*stepSize : (g+1)*stepSize] {
+			if s.at < prevLastDone {
+				t.Fatalf("step %d flow started at %v before step %d finished at %v",
+					g, s.at, g-1, prevLastDone)
+			}
+		}
+	}
+
+	// Per-step durations must sum to the iteration durations.
+	var sum sim.Time
+	for _, s := range res.Steps {
+		sum += s.Duration
+	}
+	var iters sim.Time
+	for _, d := range res.IterDurations {
+		iters += d
+	}
+	if sum != iters {
+		t.Fatalf("step durations sum %v != iteration durations sum %v", sum, iters)
+	}
+}
+
+// A deadline that lands mid-collective yields a stalled result that
+// locates the pending step.
+func TestRunnerStalledReporting(t *testing.T) {
+	engine := sim.New()
+	hostRate := netsim.Gbps(40)
+	ft := topology.BuildFatTree(engine, 1, topology.FatTreeConfig{
+		Cores: 2, Edges: 2, HostsPerEdge: 2, LinksPerPair: 1,
+		HostRate: hostRate, CoreRate: hostRate,
+	})
+	net := ft.Net
+	hosts := []*netsim.Host{ft.Hosts[0][0], ft.Hosts[1][0]}
+
+	r := &Runner{
+		Cfg: Config{Pattern: Ring, Participants: 2, MessageBytes: 1 << 30, Iterations: 1},
+		Start: func(tr Transfer) *netsim.Flow {
+			return net.StartFlow(hosts[tr.From], hosts[tr.To], netsim.FlowConfig{Size: tr.Bytes})
+		},
+	}
+	r.Begin(net)
+	engine.RunUntil(10 * sim.Microsecond) // far too short for 1 GiB segments
+
+	res := r.Result()
+	if !res.Stalled {
+		t.Fatal("run not reported stalled")
+	}
+	if res.Completed != 0 || res.PendingIter != 0 || res.PendingStep != 0 {
+		t.Fatalf("stall located at iter %d step %d (completed %d), want 0/0/0",
+			res.PendingIter, res.PendingStep, res.Completed)
+	}
+}

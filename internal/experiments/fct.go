@@ -260,14 +260,16 @@ func RunFCTReps(cfg FCTConfig, reps, workers int) []harness.Result[FCTResult] {
 func applyBufferMode(ft *topology.FatTree, mode BufferMode) {
 	switch mode {
 	case Lossless:
-		// Keep the builder's PFC-enabled configuration.
+		// Keep the builder's PFC-enabled configuration (identical to
+		// netsim.ModeHybrid.Apply on a fresh fabric).
 	case Unlimited:
+		// Not an operating mode a deployment runs — a diagnostic regime
+		// (Fig. 18) with neither PFC nor a buffer cap.
 		ft.SetBuffers(netsim.BufferConfig{})
 	case Lossy:
-		for _, s := range ft.Net.Switches() {
-			thr := s.Buffer.PFCThreshold
-			s.Buffer = netsim.BufferConfig{TotalBytes: 3 * thr}
-		}
+		// The CC-only lossy operating mode: PFC off, buffer capped at 3x
+		// the tier threshold, sized in one place by the mode helper.
+		netsim.ModeCCOnlyLossy.Apply(ft.Net.Switches())
 	}
 }
 

@@ -1,0 +1,85 @@
+package export
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+
+	"rocc/internal/collective"
+)
+
+// CollectiveSummary writes one row per protocol × mode collective cell:
+// completion status, exact iteration-time percentiles, straggler spread
+// and the fabric counters that distinguish operating modes.
+func CollectiveSummary(w io.Writer, results ...collective.ExpResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"protocol", "mode", "pattern", "ranks", "message_bytes", "chunks", "iterations",
+		"completed", "stalled", "pending_iter", "pending_step", "deadlock",
+		"iter_p50_ns", "iter_p95_ns", "iter_p99_ns", "straggler_p99_ns", "elapsed_ns",
+		"drops", "pfc_frames", "retx_bytes",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range results {
+		cfg := r.Config
+		row := []string{
+			string(cfg.Protocol),
+			cfg.Mode.String(),
+			string(cfg.Collective.Pattern),
+			strconv.Itoa(cfg.Collective.Participants),
+			strconv.FormatInt(cfg.Collective.MessageBytes, 10),
+			strconv.Itoa(cfg.Collective.Chunks),
+			strconv.Itoa(cfg.Collective.Iterations),
+			strconv.Itoa(r.Run.Completed),
+			strconv.FormatBool(r.Stalled()),
+			strconv.Itoa(r.Run.PendingIter),
+			strconv.Itoa(r.Run.PendingStep),
+			r.Deadlock,
+			g(r.IterP50), g(r.IterP95), g(r.IterP99), g(r.StragglerP99),
+			strconv.FormatInt(int64(r.Run.Elapsed), 10),
+			strconv.Itoa(r.Drops),
+			strconv.Itoa(r.PFCFrames),
+			strconv.FormatInt(r.RetxBytes, 10),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// CollectiveSteps writes long-form per-step rows for every cell: one row
+// per completed step with its start time, completion time and straggler
+// spread (last finisher minus first — how long the slowest flow held the
+// barrier). The protocol and mode columns label which cell a row
+// belongs to, so a whole sweep fits in one file.
+func CollectiveSteps(w io.Writer, results ...collective.ExpResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"protocol", "mode", "iter", "step", "flows", "start_ns", "duration_ns", "straggler_ns"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range results {
+		proto, mode := string(r.Config.Protocol), r.Config.Mode.String()
+		for _, s := range r.Run.Steps {
+			row := []string{
+				proto, mode,
+				strconv.Itoa(s.Iter),
+				strconv.Itoa(s.Step),
+				strconv.Itoa(s.Flows),
+				strconv.FormatInt(int64(s.Start), 10),
+				strconv.FormatInt(int64(s.Duration), 10),
+				strconv.FormatInt(int64(s.Straggler), 10),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

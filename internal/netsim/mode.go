@@ -1,0 +1,88 @@
+package netsim
+
+import "fmt"
+
+// OperatingMode is a fabric's loss discipline: how the network divides
+// the work of absorbing congestion between PFC backpressure and
+// congestion control. The three modes are the deployment question every
+// RoCEv2 operator answers (NCCL-over-RoCE practice): pure PFC, pure
+// CC over a lossy fabric, or CC with PFC as the backstop.
+type OperatingMode int
+
+const (
+	// ModeHybrid is the paper's default: congestion control carries the
+	// load and PFC, armed at the tier threshold, backstops transients.
+	// The fabric is lossless.
+	ModeHybrid OperatingMode = iota
+
+	// ModePFCOnly disables congestion control entirely: sources blast at
+	// their caps and PFC hop-by-hop backpressure is the only brake. The
+	// fabric is lossless but carries the full pause load — head-of-line
+	// blocking, pause cascades, and deadlock exposure come with it.
+	ModePFCOnly
+
+	// ModeCCOnlyLossy disables PFC: ECN/rate/window control carries all
+	// the load, the buffer is capped at 3x the PFC threshold, and
+	// anything past it tail-drops (App. A.2's lossy regime). Transfers
+	// that must complete ride go-back-N.
+	ModeCCOnlyLossy
+)
+
+// AllOperatingModes returns the three modes in sweep order.
+func AllOperatingModes() []OperatingMode {
+	return []OperatingMode{ModeHybrid, ModePFCOnly, ModeCCOnlyLossy}
+}
+
+func (m OperatingMode) String() string {
+	switch m {
+	case ModeHybrid:
+		return "hybrid"
+	case ModePFCOnly:
+		return "pfconly"
+	case ModeCCOnlyLossy:
+		return "cconly"
+	}
+	return "unknown"
+}
+
+// ParseOperatingMode resolves a mode name. The empty string is Hybrid —
+// the default discipline — so serialized configs omit it.
+func ParseOperatingMode(s string) (OperatingMode, error) {
+	switch s {
+	case "", "hybrid":
+		return ModeHybrid, nil
+	case "pfconly", "pfc", "pfc-only":
+		return ModePFCOnly, nil
+	case "cconly", "cc-only", "lossy", "cconlylossy":
+		return ModeCCOnlyLossy, nil
+	}
+	return ModeHybrid, fmt.Errorf("netsim: unknown operating mode %q (want hybrid, pfconly or cconly)", s)
+}
+
+// CCEnabled reports whether flows run congestion control in this mode.
+func (m OperatingMode) CCEnabled() bool { return m != ModePFCOnly }
+
+// Lossless reports whether the fabric guarantees zero tail drops (PFC
+// armed on every switch).
+func (m OperatingMode) Lossless() bool { return m != ModeCCOnlyLossy }
+
+// BufferConfig derives the switch buffer configuration for this mode
+// from the fabric's PFC threshold — the one place lossy buffer sizing
+// (3x the threshold, App. A.2) and PFC arming are decided.
+func (m OperatingMode) BufferConfig(pfcThreshold int) BufferConfig {
+	if m == ModeCCOnlyLossy {
+		return BufferConfig{TotalBytes: 3 * pfcThreshold}
+	}
+	return BufferConfig{PFCEnabled: true, PFCThreshold: pfcThreshold}
+}
+
+// Apply rewrites every switch's buffer configuration for the mode,
+// deriving each from the switch's current PFC threshold. Topology
+// builders arm PFC at the tier threshold, so applying ModeHybrid (or
+// ModePFCOnly) is an identity on a freshly built fabric; ModeCCOnlyLossy
+// disarms PFC and caps the buffer.
+func (m OperatingMode) Apply(switches []*Switch) {
+	for _, s := range switches {
+		s.Buffer = m.BufferConfig(s.Buffer.PFCThreshold)
+	}
+}

@@ -2,9 +2,11 @@ package workload
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
+	"rocc/internal/harness"
 	"rocc/internal/sim"
 )
 
@@ -183,5 +185,94 @@ func TestQuantileWithinBracketProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
+	}
+}
+
+// Boundary cases the interpolation must pin down exactly: an empty
+// point list, a single-point CDF (no segment to interpolate on), and
+// evaluation at exactly a knot's cumulative probability.
+func TestCDFEmptyRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty CDF accepted")
+		}
+	}()
+	NewCDF("empty", nil)
+}
+
+func TestCDFSinglePointRejected(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("single-point CDF accepted")
+		}
+	}()
+	NewCDF("single", []CDFPoint{{1000, 1}})
+}
+
+func TestQuantileExactAtKnots(t *testing.T) {
+	// At u equal to a knot's cumulative probability the interpolation
+	// fraction is exactly 1, so the knot's own size must come back — no
+	// off-by-one from landing on the segment boundary.
+	for _, c := range []*CDF{WebSearch(), FBHadoop()} {
+		for i, p := range c.points {
+			if got := c.Quantile(p.Prob); got != p.Bytes {
+				t.Errorf("%s knot %d: Quantile(%g) = %d, want %d",
+					c.Name(), i, p.Prob, got, p.Bytes)
+			}
+		}
+	}
+}
+
+func TestQuantileAtOne(t *testing.T) {
+	// u = 1.0 is the last knot exactly; anything above it clamps there.
+	c := WebSearch()
+	last := c.points[len(c.points)-1].Bytes
+	if got := c.Quantile(1.0); got != last {
+		t.Errorf("Quantile(1) = %d, want %d", got, last)
+	}
+	if got := c.Quantile(1.5); got != last {
+		t.Errorf("Quantile(1.5) = %d, want %d", got, last)
+	}
+}
+
+// TestPoissonDeterministicAcrossWorkers pins the open-loop workload to
+// the virtual clock: replaying the same seed on the parallel harness
+// yields the identical arrival sequence at any worker count.
+func TestPoissonDeterministicAcrossWorkers(t *testing.T) {
+	type arrivals struct {
+		Sizes []int
+		Count int
+	}
+	run := func(workers int) []arrivals {
+		rs := harness.Run(6, harness.Options{Workers: workers}, func(cell int) (arrivals, error) {
+			engine := sim.New()
+			r := sim.NewRand(100 + int64(cell))
+			var a arrivals
+			gen := NewPoisson(engine, r, WebSearch(), 50000, func(size int) {
+				a.Sizes = append(a.Sizes, size)
+			})
+			engine.RunUntil(10 * sim.Millisecond)
+			gen.Stop()
+			a.Count = gen.Started
+			return a, nil
+		})
+		out := make([]arrivals, len(rs))
+		for i, r := range rs {
+			if r.Err != nil {
+				t.Fatalf("cell %d: %v", i, r.Err)
+			}
+			out[i] = r.Value
+		}
+		return out
+	}
+	serial := run(1)
+	fanned := run(4)
+	if !reflect.DeepEqual(serial, fanned) {
+		t.Fatal("Poisson arrival sequences differ between 1 and 4 workers")
+	}
+	for i, a := range serial {
+		if a.Count == 0 || a.Count != len(a.Sizes) {
+			t.Fatalf("cell %d: Started=%d with %d sizes", i, a.Count, len(a.Sizes))
+		}
 	}
 }

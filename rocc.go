@@ -72,12 +72,22 @@ type (
 	FlowConfig = netsim.FlowConfig
 	// BufferConfig describes switch buffering and PFC.
 	BufferConfig = netsim.BufferConfig
+	// OperatingMode is the fabric loss discipline: PFC-only, CC-only
+	// lossy, or hybrid (CC with PFC as backstop).
+	OperatingMode = netsim.OperatingMode
 	// Rate is bits per second.
 	Rate = netsim.Rate
 	// FlowCC is the per-flow congestion-controller interface.
 	FlowCC = netsim.FlowCC
 	// PortCC is the switch-side congestion-control attachment.
 	PortCC = netsim.PortCC
+)
+
+// The fabric operating modes.
+const (
+	ModeHybrid      = netsim.ModeHybrid
+	ModePFCOnly     = netsim.ModePFCOnly
+	ModeCCOnlyLossy = netsim.ModeCCOnlyLossy
 )
 
 // Gbps returns a Rate of g gigabits per second.
