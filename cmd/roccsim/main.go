@@ -7,7 +7,7 @@
 //
 // Experiments: fig5 fig6 fig7a fig7b fig8 fig9 fig11 fig12a fig12b fig13
 // fig14 fig15 fig16 table3 fig17 fig18 fig19 fig20 qos table1 faults
-// recovery rollout collective soak all (default fig8)
+// recovery rollout collective rogue soak all (default fig8)
 //
 // Flags:
 //
@@ -44,6 +44,8 @@
 //	-coll-mode collective: run one operating mode instead of sweeping
 //	           hybrid/pfconly/cconly
 //	-kill      collective: none|link (kill an uplink mid-run and restore)
+//	-rogue-kind rogue: rogue behaviour (cnpdeaf|ecnblind|blast; default
+//	           cnpdeaf, adapted to each protocol's feedback channel)
 //	-count     soak: number of scenarios (0 = until -budget, or 100)
 //	-budget    soak: wall-clock budget for the campaign (0 = unlimited)
 //	-soak-out  soak: directory for minimized repros (config JSON + trace)
@@ -52,6 +54,8 @@
 //	-mix-prob  soak: probability a scenario mixes two protocols (default 0.25)
 //	-mode-prob soak: probability a scenario runs in a non-default operating
 //	           mode (PFC-only or CC-only lossy; default 0.25)
+//	-rogue-prob soak: probability a scenario hosts rogue senders policed
+//	           by switch-side defenses (default 0)
 package main
 
 import (
@@ -151,7 +155,7 @@ func emitBins(name, protocol string, bins []stats.BinStat) {
 func main() {
 	flag.Parse()
 	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|recovery|rollout|collective|soak|all]")
+		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|recovery|rollout|collective|rogue|soak|all]")
 		os.Exit(2)
 	}
 	name := "fig8" // the canonical single-bottleneck experiment
@@ -325,6 +329,8 @@ func run(name string) {
 		runRollout()
 	case "collective":
 		runCollective()
+	case "rogue":
+		runRogueExp()
 	case "soak":
 		runSoak()
 	default:

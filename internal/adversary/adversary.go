@@ -1,0 +1,74 @@
+// Package adversary models misbehaving participants — and the
+// switch-side defenses against them — for the RoCC reproduction. Where
+// internal/faults perturbs the *environment* (lossy links, stalled
+// timers, dead switches), this package perturbs the *actors*: senders
+// that ignore congestion feedback, hosts that forge CNPs, switches that
+// bleach or mis-apply ECN marks. The defenses are the two mechanisms
+// deployed fabrics actually run: a per-flow compliance policer that
+// quarantines flows sustained above their advertised fair share, and a
+// PFC storm watchdog that disables the lossless class on a port whose
+// pause has been asserted past a deadline.
+//
+// The paper's leverage appears exactly here: RoCC's fair rate is
+// computed *by the switch*, so the switch knows what each flow was told
+// and can police deviations; end-host schemes (DCQCN, TIMELY, DCTCP)
+// only ever advise the sender and have nothing to enforce against.
+//
+// Design rules, shared with internal/faults:
+//
+//   - Deterministic: nothing here draws random numbers. Rogue wrappers,
+//     forgers, overlays, policers and watchdogs are pure functions of
+//     simulated time and the traffic they observe, so two runs with the
+//     same seeds produce identical attack and defense sequences.
+//
+//   - Pay for what you use: a fabric with no adversary attachments runs
+//     byte-identical to one where this package was never imported — the
+//     netsim seams (Switch.Police, Port.SetLosslessOff) are nil/false by
+//     default and cost at most a nil check per packet. A watchdog
+//     attached to a storm-free fabric observes but never mutates, so its
+//     presence preserves trajectories too (the zero-fault identity
+//     contract, tested in watchdog_test.go).
+//
+//   - Injection sits at the simulator's seams (netsim.FlowCC wrapping,
+//     Host.Send, Port.CC overlays, Switch.Police), never inside the
+//     algorithms: every protocol sees rogues only as traffic that
+//     ignores feedback, and defenses only as drops.
+package adversary
+
+import (
+	"rocc/internal/netsim"
+	"rocc/internal/telemetry"
+)
+
+// metrics bundles the defense instruments, resolved nil-safe from a
+// network's registry (all nil when telemetry is disabled).
+type metrics struct {
+	detections *telemetry.Counter // policer quarantines entered
+	releases   *telemetry.Counter // policer quarantines released
+	trips      *telemetry.Counter // watchdog storm trips
+	reenables  *telemetry.Counter // watchdog lossless re-enables
+}
+
+func metricsFrom(net *netsim.Network) metrics {
+	reg := net.TelemetryRegistry()
+	return metrics{
+		detections: reg.Counter("adversary.police.detections"),
+		releases:   reg.Counter("adversary.police.releases"),
+		trips:      reg.Counter("adversary.watchdog.trips"),
+		reenables:  reg.Counter("adversary.watchdog.reenables"),
+	}
+}
+
+// record files an instant event into the network's flight recorder
+// (nil-safe), tagging the defense action with its switch and flow/port.
+func record(net *netsim.Network, name string, node netsim.NodeID, id int64, value float64) {
+	net.Recorder().Record(telemetry.Event{
+		At:    int64(net.Engine.Now()),
+		Kind:  telemetry.KindInstant,
+		Cat:   "adversary",
+		Name:  name,
+		Node:  int64(node),
+		Flow:  id,
+		Value: value,
+	})
+}

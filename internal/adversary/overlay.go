@@ -1,0 +1,83 @@
+package adversary
+
+import (
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+// ECNOverlay is a misconfigured-switch behaviour layered over one
+// egress port's congestion-control attachment: it forwards every hook
+// to the genuine element, then corrupts the ECN state the element (or
+// an upstream switch) left on the packet. Attach after all protocol
+// wiring is complete — the overlay captures whatever attachment the
+// port carries at that moment (including none).
+//
+// Two misconfigurations are modelled, composable on one overlay:
+//
+//   - Bleaching: CE marks are cleared at dequeue, so ECN-based schemes
+//     (DCQCN, DCTCP) upstream of this port lose their signal — the
+//     classic mid-path ToS/ECN rewrite misconfiguration.
+//
+//   - Re-marking at the wrong threshold: CE is set whenever the data
+//     backlog meets MarkAtBytes, regardless of the protocol's own
+//     marking logic. A low threshold over-marks (honest flows collapse);
+//     MarkAtBytes 0 marks everything.
+type ECNOverlay struct {
+	inner  netsim.PortCC
+	bleach bool
+	markAt int // -1 disables re-marking
+
+	// Counters.
+	Bleached int // CE marks cleared
+	Remarked int // CE marks forced on
+}
+
+// BleachECN installs a mark-clearing overlay on the port.
+func BleachECN(port *netsim.Port) *ECNOverlay {
+	ov := &ECNOverlay{inner: port.CC, bleach: true, markAt: -1}
+	port.CC = ov
+	return ov
+}
+
+// RemarkECN installs a wrong-threshold marker on the port: CE is set on
+// every data packet dequeued while the backlog is at least
+// thresholdBytes (0 = always).
+func RemarkECN(port *netsim.Port, thresholdBytes int) *ECNOverlay {
+	ov := &ECNOverlay{inner: port.CC, markAt: thresholdBytes}
+	port.CC = ov
+	return ov
+}
+
+// OnEnqueue implements netsim.PortCC.
+func (ov *ECNOverlay) OnEnqueue(now sim.Time, pkt *netsim.Packet, qlen int) {
+	if ov.inner != nil {
+		ov.inner.OnEnqueue(now, pkt, qlen)
+	}
+}
+
+// OnDequeue implements netsim.PortCC: the genuine element runs first,
+// then the misconfiguration rewrites the mark it (or an earlier hop)
+// left. Dequeue is the last touch before the wire, so the corruption
+// always wins.
+func (ov *ECNOverlay) OnDequeue(now sim.Time, pkt *netsim.Packet, qlen int) {
+	if ov.inner != nil {
+		ov.inner.OnDequeue(now, pkt, qlen)
+	}
+	if ov.bleach && pkt.CE {
+		pkt.CE = false
+		ov.Bleached++
+	}
+	if ov.markAt >= 0 && !pkt.CE && qlen >= ov.markAt {
+		pkt.CE = true
+		ov.Remarked++
+	}
+}
+
+// CCProtocol implements netsim.ProtocolNamer.
+func (ov *ECNOverlay) CCProtocol() string {
+	name := "ecn-overlay"
+	if ov.inner != nil {
+		name += "(" + netsim.CCProtocolName(ov.inner) + ")"
+	}
+	return name
+}

@@ -1,0 +1,90 @@
+package adversary
+
+import (
+	"testing"
+
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+// fakePortCC marks every packet at dequeue and counts hook calls — a
+// stand-in for a genuine marking element under the overlay.
+type fakePortCC struct{ enq, deq int }
+
+func (c *fakePortCC) OnEnqueue(now sim.Time, pkt *netsim.Packet, qlen int) { c.enq++ }
+func (c *fakePortCC) OnDequeue(now sim.Time, pkt *netsim.Packet, qlen int) {
+	c.deq++
+	pkt.CE = true
+}
+
+func TestBleachClearsInnerMarks(t *testing.T) {
+	_, _, _, _, _, p01 := chain()
+	inner := &fakePortCC{}
+	p01.CC = inner
+	ov := BleachECN(p01)
+	pkt := &netsim.Packet{Kind: netsim.KindData, Size: 1000, ECT: true}
+	ov.OnEnqueue(0, pkt, 0)
+	ov.OnDequeue(0, pkt, 50_000)
+	if inner.enq != 1 || inner.deq != 1 {
+		t.Errorf("inner element not forwarded to: %+v", inner)
+	}
+	if pkt.CE {
+		t.Error("CE survived the bleach")
+	}
+	if ov.Bleached != 1 {
+		t.Errorf("Bleached = %d, want 1", ov.Bleached)
+	}
+}
+
+func TestRemarkForcesMarksAtThreshold(t *testing.T) {
+	_, _, _, _, _, p01 := chain()
+	ov := RemarkECN(p01, 10_000)
+	under := &netsim.Packet{Kind: netsim.KindData, Size: 1000}
+	ov.OnDequeue(0, under, 5_000)
+	if under.CE || ov.Remarked != 0 {
+		t.Error("re-marked below the threshold")
+	}
+	over := &netsim.Packet{Kind: netsim.KindData, Size: 1000}
+	ov.OnDequeue(0, over, 20_000)
+	if !over.CE || ov.Remarked != 1 {
+		t.Error("no mark at a backlog past the threshold")
+	}
+}
+
+func TestOverlaysCompose(t *testing.T) {
+	// Remark first, bleach on top: the bleach is the outer overlay and
+	// dequeues run inner-first, so the forced mark is cleared again —
+	// the packet leaves unmarked and both counters advance.
+	_, _, _, _, _, p01 := chain()
+	remark := RemarkECN(p01, 0)
+	bleach := BleachECN(p01)
+	pkt := &netsim.Packet{Kind: netsim.KindData, Size: 1000}
+	bleach.OnDequeue(0, pkt, 1_000)
+	if pkt.CE {
+		t.Error("outer bleach did not win the composition")
+	}
+	if remark.Remarked != 1 || bleach.Bleached != 1 {
+		t.Errorf("composition counters: remarked=%d bleached=%d", remark.Remarked, bleach.Bleached)
+	}
+}
+
+// TestBleachKeepsWireClean: end to end, a bleaching egress starves
+// everything downstream of marks — every CE the inner marker sets is
+// cleared before the packet reaches the wire.
+func TestBleachKeepsWireClean(t *testing.T) {
+	engine, net, h0, h1, _, p01 := chain()
+	inner := &fakePortCC{}
+	p01.CC = inner
+	ov := BleachECN(p01)
+	f := net.StartFlow(h0, h1, netsim.FlowConfig{Size: 100_000})
+	engine.RunUntil(2 * sim.Millisecond)
+	if !f.Done() {
+		t.Fatal("flow incomplete")
+	}
+	if inner.deq == 0 {
+		t.Error("inner marker never ran")
+	}
+	if ov.Bleached != inner.deq {
+		t.Errorf("bleached %d of %d marked packets", ov.Bleached, inner.deq)
+	}
+}

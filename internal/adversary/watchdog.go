@@ -1,0 +1,167 @@
+package adversary
+
+import (
+	"rocc/internal/netsim"
+	"rocc/internal/sim"
+)
+
+// WatchdogConfig parameterizes one switch's PFC storm watchdog.
+type WatchdogConfig struct {
+	// Deadline is how long a pause may stay asserted on an egress
+	// before it is declared a storm. Default 500 µs — healthy pauses in
+	// the paper's fabrics last microseconds; the network-level storm
+	// threshold (Network.PauseStormSpan) is 1 ms.
+	Deadline sim.Time
+
+	// Cooldown is how long the lossless class stays disabled after a
+	// trip before it is re-enabled. Default 1 ms. A storm still active
+	// at re-enable re-trips on the next scan.
+	Cooldown sim.Time
+
+	// Scan is the port-scan period. Default 50 µs.
+	Scan sim.Time
+}
+
+func (c WatchdogConfig) fill() WatchdogConfig {
+	if c.Deadline <= 0 {
+		c.Deadline = 500 * sim.Microsecond
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = sim.Millisecond
+	}
+	if c.Scan <= 0 {
+		c.Scan = 50 * sim.Microsecond
+	}
+	return c
+}
+
+// WatchdogStats summarizes a watchdog's activity.
+type WatchdogStats struct {
+	Trips        int // storms detected (lossless disabled)
+	Reenables    int // cooldowns completed (lossless restored)
+	FlushedPkts  int // stuck-queue packets dropped at trips
+	FlushedBytes int
+}
+
+// Watchdog is the deployed PFC storm mitigation for one switch: when a
+// port's pause has been asserted past Deadline, the lossless class on
+// that port is disabled — the stuck queue is flushed (dropped, with
+// normal buffer/PFC accounting so upstream pause state unwinds), new
+// data routed there is dropped, and the storm's continuing pause frames
+// are ignored — until Cooldown re-enables it. Storm-free fabrics see
+// only reads: a watchdog that never trips never mutates, preserving
+// byte-identical trajectories (the zero-fault identity contract).
+type Watchdog struct {
+	net *netsim.Network
+	sw  *netsim.Switch
+	cfg WatchdogConfig
+
+	// reenableAt records, per port index, when the pending cooldown
+	// restores the lossless class. The watchdog-liveness invariant
+	// checks it: a port still disabled after its recorded deadline
+	// means the re-enable was lost.
+	reenableAt map[int]sim.Time
+
+	stopped bool
+	stats   WatchdogStats
+	tm      metrics
+}
+
+// NewWatchdog attaches a storm watchdog to the switch and starts its
+// scan.
+func NewWatchdog(net *netsim.Network, sw *netsim.Switch, cfg WatchdogConfig) *Watchdog {
+	w := &Watchdog{
+		net:        net,
+		sw:         sw,
+		cfg:        cfg.fill(),
+		reenableAt: make(map[int]sim.Time),
+		tm:         metricsFrom(net),
+	}
+	net.Engine.AfterCall(w.cfg.Scan, watchdogScan, w, nil)
+	return w
+}
+
+// Stop ends the scan. Pending cooldown re-enables still fire — a
+// stopped watchdog must not leave a port lossless-disabled forever.
+func (w *Watchdog) Stop() { w.stopped = true }
+
+// Stats returns the activity counters.
+func (w *Watchdog) Stats() WatchdogStats { return w.stats }
+
+// DisabledPorts returns how many of the switch's ports currently have
+// their lossless class storm-disabled.
+func (w *Watchdog) DisabledPorts() int {
+	n := 0
+	for _, p := range w.sw.Ports() {
+		if p.LosslessOff() {
+			n++
+		}
+	}
+	return n
+}
+
+// StuckDisabled reports a liveness failure: a port whose lossless class
+// is disabled past its recorded re-enable deadline (the cooldown event
+// was lost). Healthy operation never returns true, including mid-cooldown.
+func (w *Watchdog) StuckDisabled(now sim.Time) bool {
+	for _, p := range w.sw.Ports() {
+		if !p.LosslessOff() {
+			continue
+		}
+		at, ok := w.reenableAt[p.Index]
+		if !ok || now > at {
+			return true
+		}
+	}
+	return false
+}
+
+// Trip force-trips the watchdog on one port — the test hook for the
+// forced trip → disable → cooldown → re-enable path.
+func (w *Watchdog) Trip(port *netsim.Port) { w.trip(port) }
+
+func (w *Watchdog) trip(port *netsim.Port) {
+	if port.LosslessOff() {
+		return
+	}
+	port.SetLosslessOff(true) // releases the in-progress pause span
+	pkts, bytes := w.sw.FlushPortData(port)
+	w.stats.Trips++
+	w.stats.FlushedPkts += pkts
+	w.stats.FlushedBytes += bytes
+	w.tm.trips.Inc()
+	w.reenableAt[port.Index] = w.net.Engine.Now() + w.cfg.Cooldown
+	record(w.net, "watchdog_trip", w.sw.ID(), int64(port.Index), float64(bytes))
+	w.net.Engine.AfterCall(w.cfg.Cooldown, watchdogReenable, w, port)
+}
+
+// watchdogScan checks every port's in-progress pause span against the
+// deadline. Reads only, unless a storm is found.
+func watchdogScan(a, _ any) {
+	w := a.(*Watchdog)
+	if w.stopped {
+		return
+	}
+	for _, p := range w.sw.Ports() {
+		if p.LosslessOff() {
+			continue // cooldown pending
+		}
+		if p.CurrentPauseSpan() >= w.cfg.Deadline {
+			w.trip(p)
+		}
+	}
+	w.net.Engine.AfterCall(w.cfg.Scan, watchdogScan, w, nil)
+}
+
+// watchdogReenable restores the lossless class after the cooldown. It
+// fires even on a stopped watchdog: disabling is an intervention, and
+// interventions must unwind.
+func watchdogReenable(a, b any) {
+	w := a.(*Watchdog)
+	port := b.(*netsim.Port)
+	port.SetLosslessOff(false)
+	delete(w.reenableAt, port.Index)
+	w.stats.Reenables++
+	w.tm.reenables.Inc()
+	record(w.net, "watchdog_reenable", w.sw.ID(), int64(port.Index), 0)
+}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"rocc/internal/adversary"
 	"rocc/internal/experiments"
 	"rocc/internal/netsim"
 	"rocc/internal/sim"
@@ -57,6 +58,15 @@ type GenOptions struct {
 	// generates is byte-identical whether or not the mode dimension is
 	// enabled.
 	ModeProb float64
+
+	// RogueProb is the probability a scenario hosts rogue senders —
+	// flows whose controllers ignore their protocol's feedback (CNP-deaf,
+	// ECN-blind, or raw blasters) — with the switch-side defenses
+	// (compliance policer, PFC storm watchdog, RoCC forged-feedback
+	// hardening) attached to contain them. Like every other dimension it
+	// draws from its own salted RNG stream, so rogue-free seeds stay
+	// byte-identical with the dimension off.
+	RogueProb float64
 }
 
 func (o GenOptions) withDefaults() GenOptions {
@@ -110,6 +120,7 @@ func Generate(seed int64, opts GenOptions) Scenario {
 	mixProtocols(seed, o, &sc)
 	overlayKill(seed, o, &sc)
 	overlayMode(seed, o, &sc)
+	overlayRogue(seed, o, &sc)
 	return sc
 }
 
@@ -231,6 +242,60 @@ func overlayMode(seed int64, o GenOptions, sc *Scenario) {
 	for i := range sc.Flows {
 		sc.Flows[i].Reliable = true
 	}
+}
+
+// rogueSeedSalt decorrelates the rogue overlay from the base stream and
+// the other overlays: enabling the adversarial dimension must not change
+// the scenarios rogue-free seeds have always generated.
+const rogueSeedSalt = 0x726f6775 // "rogu"
+
+// overlayRogue marks 1-3 of the scenario's flows as rogue senders with
+// probability RogueProb, from its own derived RNG stream, and turns the
+// switch-side defenses on. Each rogue becomes a persistent, uncapped
+// sender of a random misbehaviour kind; flow 0 is never marked, so at
+// least one honest victim survives by construction (the victim-floor
+// invariant needs a subject). The overlay runs last: it respects the
+// reliability forcing the kill and lossy-mode overlays applied, and
+// skips PFC-only scenarios outright — with no controller running there
+// is nothing for a rogue to subvert.
+func overlayRogue(seed int64, o GenOptions, sc *Scenario) {
+	if o.RogueProb <= 0 {
+		return
+	}
+	r := sim.NewRand(seed ^ rogueSeedSalt)
+	if r.Float64() >= o.RogueProb {
+		return
+	}
+	if sc.OperatingMode() == netsim.ModePFCOnly || len(sc.Flows) < 2 {
+		return
+	}
+	forceReliable := sc.OperatingMode() == netsim.ModeCCOnlyLossy
+	for _, f := range sc.Faults {
+		if f.Kind == FaultLinkKill || f.Kind == FaultSwitchKill {
+			// Kill scenarios force persistent flows onto go-back-N (see
+			// overlayKill); a flow this overlay makes persistent follows.
+			forceReliable = true
+		}
+	}
+	n := 1 + r.Intn(min(len(sc.Flows)-1, 3))
+	chosen := make(map[int]bool, n)
+	for len(chosen) < n {
+		chosen[1+r.Intn(len(sc.Flows)-1)] = true
+	}
+	kinds := adversary.RogueKinds()
+	for i := 1; i < len(sc.Flows); i++ {
+		if !chosen[i] {
+			continue
+		}
+		f := &sc.Flows[i]
+		f.Rogue = string(kinds[r.Intn(len(kinds))])
+		f.SizeBytes = -1
+		f.MaxRateMbps = 0
+		if forceReliable {
+			f.Reliable = true
+		}
+	}
+	sc.Defended = true
 }
 
 func genTopology(r *sim.Rand, kind string) TopologySpec {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"rocc/internal/adversary"
 	"rocc/internal/core"
 	"rocc/internal/experiments"
 	"rocc/internal/faults"
@@ -29,6 +30,11 @@ const (
 	InvBlackhole        = "blackhole"   // no permanent blackhole after reconvergence
 	InvRecovery         = "recovery"    // live flows deliver again after restore
 	InvStalePause       = "stale_pause" // no pause survives the drain (deadlock-free restore)
+
+	// Adversarial-dimension invariants (defended scenarios only).
+	InvVictimFloor  = "victim_floor"          // policing keeps honest flows delivering
+	InvWatchdogLive = "watchdog_live"         // no port stays lossless-disabled past its cooldown
+	InvQuarantine   = "quarantine_accounting" // detections, releases and current quarantines balance
 )
 
 // Violation records one invariant trip.
@@ -54,7 +60,15 @@ type Runtime struct {
 	Flows []*netsim.Flow
 
 	// RoCCRPs collects the reaction points of started RoCC flows.
+	// Rogue-wrapped controllers are naturally excluded: the wrapper type
+	// hides the FlowCC underneath, and a rogue's limiter is exactly the
+	// thing the rp_rate_bounds invariant must not vouch for.
 	RoCCRPs []*core.RP
+
+	// Policers and Watchdogs are the switch-side defenses, one of each
+	// per switch on defended scenarios; empty otherwise.
+	Policers  []*adversary.Policer
+	Watchdogs []*adversary.Watchdog
 
 	fab        *fabric
 	midBytes   []int64 // per-flow DeliveredBytes at the fairness window start
@@ -140,8 +154,14 @@ func checkPFCDeadlock(rt *Runtime, _ RunOptions) (string, bool) {
 	// standing congestion makes momentary mutual pauses routine, and
 	// Xon hysteresis resolves them. There a cycle only counts if it
 	// outlives the run — the post-drain stuck_queue and stale_pause
-	// checkers catch exactly that.
-	if rt.Scenario.OperatingMode() == netsim.ModePFCOnly {
+	// checkers catch exactly that. Rogue-laden scenarios break the same
+	// premise from the other side: a blast rogue ignores its controller
+	// and drives queues to Xoff on purpose, so momentary mutual pauses
+	// are the attack's expected physics, not a wedge — and where the
+	// policer has no advertised contract to enforce (end-host schemes),
+	// nothing stops them. The post-drain checkers and the watchdog's
+	// liveness invariant still guard against a cycle that persists.
+	if rt.Scenario.OperatingMode() == netsim.ModePFCOnly || rt.Scenario.RogueCount() > 0 {
 		return "", false
 	}
 	if cycle := pauseWaitCycle(rt.Net.Switches()); cycle != "" {
@@ -345,6 +365,13 @@ func checkFairness(rt *Runtime, o RunOptions) (string, bool) {
 		if fs.StartNs > rt.Scenario.DurationNs/2 {
 			continue
 		}
+		// Rogue and policed flows are outside the fairness contract: a
+		// rogue took itself out of the control loop, and a quarantined
+		// flow is being deliberately starved to a penalty rate — counting
+		// either would fail honest scenarios for containing the attack.
+		if fs.Rogue != "" || rt.flowQuarantined(rt.Flows[i].ID) {
+			continue
+		}
 		proto := string(rt.Scenario.FlowProtocol(i))
 		groups[proto] = append(groups[proto], float64(rt.Flows[i].DeliveredBytes()-rt.midBytes[i]))
 	}
@@ -407,6 +434,72 @@ func checkRecovery(rt *Runtime, _ RunOptions) (string, bool) {
 	return "", false
 }
 
+// flowQuarantined reports whether any attached policer currently holds
+// the flow at a penalty rate.
+func (rt *Runtime) flowQuarantined(fid netsim.FlowID) bool {
+	for _, p := range rt.Policers {
+		if p.Quarantined(fid) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkVictimFloor is the containment invariant: on a defended scenario
+// with rogue senders, the honest flows must still deliver — the policer
+// exists so an adversary cannot starve the fabric, and a zero-byte
+// victim population means either the defense failed or (worse) it
+// quarantined the victims instead of the rogues.
+func checkVictimFloor(rt *Runtime, _ RunOptions) (string, bool) {
+	if len(rt.Policers) == 0 || rt.Scenario.RogueCount() == 0 {
+		return "", false
+	}
+	victims := 0
+	var delivered int64
+	for i, f := range rt.Flows {
+		if f == nil || rt.Scenario.Flows[i].Rogue != "" {
+			continue
+		}
+		victims++
+		delivered += f.DeliveredBytes()
+	}
+	if victims > 0 && delivered == 0 {
+		return fmt.Sprintf("%d honest flows delivered zero bytes under policing", victims), true
+	}
+	return "", false
+}
+
+// checkWatchdogLive is the mitigation-liveness invariant: disabling a
+// port's lossless class is an intervention, and interventions must
+// unwind — a port still disabled past its recorded cooldown deadline
+// means the re-enable was lost and the port drops data forever.
+func checkWatchdogLive(rt *Runtime, _ RunOptions) (string, bool) {
+	for _, w := range rt.Watchdogs {
+		if w.StuckDisabled(rt.Engine.Now()) {
+			return fmt.Sprintf("%d ports lossless-disabled past their cooldown deadline", w.DisabledPorts()), true
+		}
+	}
+	return "", false
+}
+
+// checkQuarantineLedger closes the policer's books: releases can never
+// outnumber detections, and the flows held right now must equal the
+// difference — anything else means quarantine state leaked or was
+// double-counted.
+func checkQuarantineLedger(rt *Runtime, _ RunOptions) (string, bool) {
+	for _, p := range rt.Policers {
+		st := p.Stats()
+		if st.Releases > st.Detections {
+			return fmt.Sprintf("%d releases exceed %d detections", st.Releases, st.Detections), true
+		}
+		if got := p.CurrentQuarantined(); got != st.Detections-st.Releases {
+			return fmt.Sprintf("%d flows quarantined but ledger says %d-%d",
+				got, st.Detections, st.Releases), true
+		}
+	}
+	return "", false
+}
+
 // checkStalePause runs after the drain on every scenario: with all flows
 // stopped, all fault schedules quiesced and all queues empty, every PFC
 // pause must have been released. A pause that survives the drain can
@@ -445,6 +538,7 @@ var sampleCheckers = []struct {
 	{InvFlowConservation, checkFlowConservation},
 	{InvLosslessDrops, checkLosslessDrops},
 	{InvPacketAccounting, checkPacketAccounting},
+	{InvQuarantine, checkQuarantineLedger},
 }
 
 var finalCheckers = []struct {
@@ -459,4 +553,7 @@ var finalCheckers = []struct {
 	{InvBlackhole, checkBlackhole},
 	{InvRecovery, checkRecovery},
 	{InvStalePause, checkStalePause},
+	{InvVictimFloor, checkVictimFloor},
+	{InvWatchdogLive, checkWatchdogLive},
+	{InvQuarantine, checkQuarantineLedger},
 }

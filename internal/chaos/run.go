@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"rocc/internal/adversary"
 	"rocc/internal/core"
 	"rocc/internal/experiments"
 	"rocc/internal/faults"
@@ -90,6 +91,13 @@ type Result struct {
 	PauseStorms    uint64       `json:"pause_storms"`
 	LongestPauseNs int64        `json:"longest_pause_ns"`
 	FaultStats     faults.Stats `json:"fault_stats"`
+
+	// Defense activity, all zero on undefended runs.
+	Quarantines   int `json:"quarantines,omitempty"`
+	Releases      int `json:"releases,omitempty"`
+	PolicedDrops  int `json:"policed_drops,omitempty"`
+	WatchdogTrips int `json:"watchdog_trips,omitempty"`
+	WatchdogDrops int `json:"watchdog_drops,omitempty"`
 }
 
 // Violated reports whether the named invariant tripped (any invariant
@@ -127,6 +135,14 @@ func Run(sc Scenario, opts RunOptions) (Result, error) {
 	// Faulted runs lose CNPs; give RoCC flows the paper's staleness
 	// re-homing so feedback loss degrades instead of wedging.
 	mix.RoCCRP.StaleK = core.DefaultStaleK
+	defended := sc.Defended && mode.CCEnabled()
+	if defended {
+		// The end-host half of the defense: RoCC reaction points refuse
+		// CNPs from congestion points that are not on the flow's path and
+		// stale (replayed) feedback.
+		mix.RoCCRP.VerifyCPPath = true
+		mix.RoCCRP.MaxCNPAge = 250 * sim.Microsecond
+	}
 	for _, p := range protos {
 		mix.Activate(p)
 	}
@@ -138,13 +154,50 @@ func Run(sc Scenario, opts RunOptions) (Result, error) {
 		}
 	}
 
+	var policers []*adversary.Policer
+	var watchdogs []*adversary.Watchdog
+	if defended {
+		advertised := func(port *netsim.Port) (netsim.Rate, bool) {
+			if cp := mix.CPs[port]; cp != nil {
+				return netsim.Mbps(cp.FairRateMbps()), true
+			}
+			return 0, false
+		}
+		for _, sw := range net.Switches() {
+			// The chaos policer is gentler than the benchmark defaults:
+			// random workloads legitimately overshoot stale shares during
+			// incast convergence, and a mis-quarantined honest flow is a
+			// false soak failure. Rogues overshoot by an order of
+			// magnitude, so the wider margin costs only detection latency.
+			// RequireAdvertised confines policing to RoCC-governed egresses
+			// — on a random workload the equal-split fallback mistakes a
+			// work-conserving flow absorbing idle capacity for a rogue; the
+			// switch only enforces the contract it actually advertised.
+			policers = append(policers, adversary.NewPolicer(net, sw, adversary.PolicerConfig{
+				Margin:            2,
+				TripAfter:         6,
+				AdvertisedRate:    advertised,
+				RequireAdvertised: true,
+			}))
+			// The watchdog deadline matches the monitor's pause budget: a
+			// pause that would have tripped the pause-storm invariant is
+			// instead broken by the deployed mitigation, and the
+			// watchdog-liveness invariant guards the mitigation itself.
+			watchdogs = append(watchdogs, adversary.NewWatchdog(net, sw, adversary.WatchdogConfig{
+				Deadline: o.MaxPauseSpan,
+			}))
+		}
+	}
+
 	rt := &Runtime{
-		Scenario: sc,
-		Engine:   engine,
-		Net:      net,
-		Stack:    stack,
-		Flows:    make([]*netsim.Flow, len(sc.Flows)),
-		fab:      fab,
+		Scenario:  sc,
+		Engine:    engine,
+		Net:       net,
+		Stack:     stack,
+		Flows:     make([]*netsim.Flow, len(sc.Flows)),
+		Policers:  policers,
+		Watchdogs: watchdogs,
+		fab:       fab,
 	}
 	for _, f := range sc.Faults {
 		if f.Kind == FaultLink && f.Scope == ScopeData && f.Duplicate > 0 {
@@ -162,7 +215,19 @@ func Run(sc Scenario, opts RunOptions) (Result, error) {
 				rateCap = netsim.Mbps(fs.MaxRateMbps)
 			}
 			var f *netsim.Flow
-			if mode.CCEnabled() {
+			if mode.CCEnabled() && fs.Rogue != "" {
+				// Rogue sender: the genuine controller is built and wired,
+				// then wrapped in the named misbehaviour. The kind adapts
+				// to the protocol's actual feedback channel (CNP-deaf is
+				// vacuous for schemes that never see a CNP).
+				kind, _ := adversary.ParseRogueKind(fs.Rogue) // Validate vetted it
+				kind = experiments.EffectiveRogueKind(sc.FlowProtocol(i), kind)
+				blastRate := src.Ports()[0].LinkRate
+				f = mix.StartWrappedFlow(sc.FlowProtocol(i), src, dst, fs.SizeBytes, rateCap, fs.Reliable,
+					func(cc netsim.FlowCC) netsim.FlowCC {
+						return adversary.WrapRogue(kind, cc, blastRate)
+					})
+			} else if mode.CCEnabled() {
 				f = mix.StartCustomFlow(sc.FlowProtocol(i), src, dst, fs.SizeBytes, rateCap, fs.Reliable)
 			} else {
 				// PFC-only: no controller — sources blast at their caps and
@@ -303,6 +368,15 @@ func Run(sc Scenario, opts RunOptions) (Result, error) {
 	if rt.Injector != nil {
 		res.FaultStats = rt.Injector.Stats()
 	}
+	for _, p := range policers {
+		res.Quarantines += p.Stats().Detections
+		res.Releases += p.Stats().Releases
+	}
+	for _, w := range watchdogs {
+		res.WatchdogTrips += w.Stats().Trips
+	}
+	res.PolicedDrops = net.PolicedDrops()
+	res.WatchdogDrops = net.WatchdogDrops()
 	return res, nil
 }
 

@@ -15,6 +15,7 @@ import (
 	"os"
 	"sort"
 
+	"rocc/internal/adversary"
 	"rocc/internal/experiments"
 	"rocc/internal/faults"
 	"rocc/internal/netsim"
@@ -75,6 +76,13 @@ type FlowSpec struct {
 	// than Scenario.Protocol — the mixed-fabric (incremental rollout)
 	// scenario class. Empty inherits the scenario protocol.
 	Protocol string `json:"protocol,omitempty"`
+
+	// Rogue, when non-empty, wraps this flow's controller in the named
+	// misbehaviour (an adversary.RogueKind: cnpdeaf, ecnblind, blast).
+	// The rest of the fabric — receiver, ACK machinery, switch elements —
+	// keeps running the flow's protocol honestly; only the sender's
+	// reaction to feedback is subverted.
+	Rogue string `json:"rogue,omitempty"`
 }
 
 // FaultSpec is one fault-schedule entry. Link and Switch index into the
@@ -116,6 +124,14 @@ type Scenario struct {
 	// names). Empty is hybrid — the historical default, so every seed
 	// generated before the mode dimension existed replays byte-identical.
 	Mode string `json:"mode,omitempty"`
+
+	// Defended attaches the switch-side defenses to every switch — the
+	// per-flow compliance policer and the PFC storm watchdog — and
+	// hardens RoCC reaction points against forged feedback (CP path
+	// witness + replay rejection). On a fabric where nothing misbehaves
+	// the defenses are pure observers: trajectories are byte-identical
+	// with and without them (pinned by the defended-identity test).
+	Defended bool `json:"defended,omitempty"`
 
 	// Buffer overrides applied to every switch; zero keeps the
 	// topology's lossless defaults. Setting PFCThresholdBytes above
@@ -167,6 +183,17 @@ func (sc Scenario) Protocols() []experiments.Protocol {
 
 // Mixed reports whether two or more protocols share the fabric.
 func (sc Scenario) Mixed() bool { return len(sc.Protocols()) > 1 }
+
+// RogueCount returns how many of the scenario's flows are rogue senders.
+func (sc Scenario) RogueCount() int {
+	n := 0
+	for i := range sc.Flows {
+		if sc.Flows[i].Rogue != "" {
+			n++
+		}
+	}
+	return n
+}
 
 // hostCount returns how many hosts the topology will create.
 func (t TopologySpec) hostCount() int {
@@ -263,6 +290,14 @@ func (sc Scenario) Validate() error {
 		if f.Protocol != "" {
 			if _, err := experiments.ParseProtocol(f.Protocol); err != nil {
 				return fmt.Errorf("chaos: flow %d: %w", i, err)
+			}
+		}
+		if f.Rogue != "" {
+			if _, err := adversary.ParseRogueKind(f.Rogue); err != nil {
+				return fmt.Errorf("chaos: flow %d: %w", i, err)
+			}
+			if sc.OperatingMode() == netsim.ModePFCOnly {
+				return fmt.Errorf("chaos: flow %d is rogue but mode %q runs no controller to subvert", i, sc.Mode)
 			}
 		}
 	}

@@ -61,6 +61,7 @@ func Shrink(sc Scenario, invariant string, opts RunOptions, maxRuns int) ShrinkR
 		cur = shrinkDuration(cur, trips)
 		cur = compactStar(cur, trips)
 		cur = shrinkMode(cur, trips)
+		cur = shrinkDefense(cur, trips)
 
 		if shrinkSize(cur) >= before || budget <= 0 {
 			break
@@ -164,6 +165,33 @@ func shrinkMode(sc Scenario, trips func(Scenario) bool) Scenario {
 	c.Mode = ""
 	if trips(c) {
 		return c
+	}
+	return sc
+}
+
+// shrinkDefense drops the adversarial dimension when the violation
+// reproduces without it: first the defenses alone, then defenses and
+// rogue marks together — a repro that trips on a plain fabric is simpler
+// than one that needs an attack to be under way.
+func shrinkDefense(sc Scenario, trips func(Scenario) bool) Scenario {
+	if !sc.Defended && sc.RogueCount() == 0 {
+		return sc
+	}
+	plain := sc
+	plain.Defended = false
+	plain.Flows = append([]FlowSpec(nil), sc.Flows...)
+	for i := range plain.Flows {
+		plain.Flows[i].Rogue = ""
+	}
+	if trips(plain) {
+		return plain
+	}
+	if sc.Defended && sc.RogueCount() > 0 {
+		c := sc
+		c.Defended = false
+		if trips(c) {
+			return c
+		}
 	}
 	return sc
 }

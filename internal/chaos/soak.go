@@ -82,8 +82,12 @@ type Verdict struct {
 	Mode   string `json:"mode,omitempty"`
 	Flows  int    `json:"flows"`
 	Faults int    `json:"faults"`
-	Result Result `json:"result"`
-	Err    string `json:"err,omitempty"`
+	// Rogues counts the scenario's rogue senders; Defended records
+	// whether the switch-side defenses were attached.
+	Rogues   int    `json:"rogues,omitempty"`
+	Defended bool   `json:"defended,omitempty"`
+	Result   Result `json:"result"`
+	Err      string `json:"err,omitempty"`
 }
 
 // ModeLabel names the scenario's operating mode, spelling out the
@@ -129,6 +133,7 @@ type Report struct {
 	Failures  int
 	Mixed     int // scenarios running ≥2 protocols on one fabric
 	Moded     int // scenarios in a non-default operating mode
+	Rogued    int // scenarios hosting rogue senders under the defenses
 	Verdicts  []Verdict
 	Repros    []Repro
 }
@@ -173,6 +178,8 @@ func Soak(opts SoakOptions) Report {
 				Mode:     sc.Mode,
 				Flows:    len(sc.Flows),
 				Faults:   len(sc.Faults),
+				Rogues:   sc.RogueCount(),
+				Defended: sc.Defended,
 			}
 			if protos := sc.Protocols(); len(protos) > 1 {
 				for _, p := range protos {
@@ -201,6 +208,9 @@ func Soak(opts SoakOptions) Report {
 			}
 			if v.Mode != "" {
 				rep.Moded++
+			}
+			if v.Rogues > 0 {
+				rep.Rogued++
 			}
 			rep.Verdicts = append(rep.Verdicts, v)
 			if o.OnScenario != nil {

@@ -35,6 +35,15 @@ type RPConfig struct {
 	// re-homing then would alter fault-free trajectories. Deployments
 	// expecting feedback loss set DefaultStaleK.
 	StaleK int
+
+	// Witness, when set, is the forged-feedback defense: a CNP whose
+	// congestion point the witness does not recognize — a CP id never
+	// seen on this flow's path — is rejected before it can steer the
+	// rate limiter, exactly like corrupt rate units. Nil (the default)
+	// preserves the historical accept-any-origin behaviour; deployments
+	// expecting spoofed CNPs wire a path-derived witness (the simulator
+	// uses netsim.FlowPathCPs).
+	Witness func(cp CPKey) bool
 }
 
 // rejectFactor is the slack on MaxRateUnits' default: CPs on links up to
@@ -90,6 +99,7 @@ type RP struct {
 	CNPsAccepted    int
 	CNPsIgnored     int
 	CNPsRejected    int // malformed feedback discarded by validation
+	CNPsSpoofed     int // CNPs rejected by the path witness (forged origin)
 	Recoveries      int
 	StaleRecoveries int // recoveries past the staleness threshold (feedback lost)
 	Suspects        int // externally signalled path changes (SuspectStale)
@@ -148,13 +158,28 @@ func (rp *RP) ValidCNP(rateUnits int) bool {
 	return !math.IsNaN(rrcvd) && !math.IsInf(rrcvd, 0)
 }
 
+// ValidCNPFrom extends ValidCNP with the origin check: when a Witness is
+// configured, a CNP claiming a congestion point the flow's packets never
+// traversed is forged feedback and fails validation. With no Witness the
+// check reduces to ValidCNP.
+func (rp *RP) ValidCNPFrom(rateUnits int, cp CPKey) bool {
+	if !rp.ValidCNP(rateUnits) {
+		return false
+	}
+	if rp.cfg.Witness != nil && !rp.cfg.Witness(cp) {
+		rp.CNPsSpoofed++
+		return false
+	}
+	return true
+}
+
 // ProcessCNP implements Process_CNP (Alg. 2 lines 1-7). rateUnits is the
 // fair rate from the CNP in ΔF units and cp identifies its origin. It
 // returns whether the CNP was accepted, in which case the caller must
 // (re)arm the fast-recovery timer. Malformed feedback is rejected before
 // it can touch the rate (graceful degradation under corruption).
 func (rp *RP) ProcessCNP(rateUnits int, cp CPKey) (accepted bool) {
-	if !rp.ValidCNP(rateUnits) {
+	if !rp.ValidCNPFrom(rateUnits, cp) {
 		rp.CountRejected()
 		return false
 	}

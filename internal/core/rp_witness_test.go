@@ -1,0 +1,68 @@
+package core
+
+import "testing"
+
+// newWitnessRP admits only CPs the supplied set vouches for — the
+// forged-feedback defense a transport wires up from its path knowledge.
+func newWitnessRP(onPath ...CPKey) *RP {
+	set := make(map[CPKey]bool, len(onPath))
+	for _, cp := range onPath {
+		set[cp] = true
+	}
+	return NewRP(RPConfig{
+		DeltaFMbps: 10,
+		RmaxMbps:   40000,
+		Witness:    func(cp CPKey) bool { return set[cp] },
+	})
+}
+
+func TestWitnessRejectsSpoofedCP(t *testing.T) {
+	onPath := CPKey{Node: 1}
+	rp := newWitnessRP(onPath)
+	spoof := CPKey{Node: 66, Port: 3}
+	if rp.ProcessCNP(5, spoof) {
+		t.Error("CNP from an off-path CP was accepted")
+	}
+	if rp.Installed() || rp.RateMbps() != 40000 {
+		t.Errorf("spoofed CNP moved the rate: installed=%v rate=%v",
+			rp.Installed(), rp.RateMbps())
+	}
+	if rp.CNPsSpoofed != 1 || rp.CNPsRejected != 1 {
+		t.Errorf("spoof counters: spoofed=%d rejected=%d, want 1/1",
+			rp.CNPsSpoofed, rp.CNPsRejected)
+	}
+	// Genuine feedback still lands.
+	if !rp.ProcessCNP(500, onPath) {
+		t.Error("on-path CNP rejected by the witness")
+	}
+	if rp.RateMbps() != 5000 {
+		t.Errorf("rate after genuine CNP = %v, want 5000", rp.RateMbps())
+	}
+}
+
+func TestWitnessChecksAfterPlausibility(t *testing.T) {
+	rp := newWitnessRP(CPKey{Node: 1})
+	// An implausible rate from an off-path CP is a plain rejection, not
+	// a spoof detection — plausibility runs first, so the spoof counter
+	// only counts well-formed forgeries.
+	if rp.ProcessCNP(-1, CPKey{Node: 66}) {
+		t.Error("implausible CNP accepted")
+	}
+	if rp.CNPsSpoofed != 0 || rp.CNPsRejected != 1 {
+		t.Errorf("counters after implausible CNP: spoofed=%d rejected=%d",
+			rp.CNPsSpoofed, rp.CNPsRejected)
+	}
+}
+
+func TestNilWitnessKeepsHistoricalBehavior(t *testing.T) {
+	rp := newTestRP()
+	if !rp.ProcessCNP(500, CPKey{Node: 66, Port: 3}) {
+		t.Error("without a witness, any well-formed origin must be accepted")
+	}
+	if rp.CNPsSpoofed != 0 {
+		t.Error("nil witness counted a spoof")
+	}
+	if !rp.ValidCNPFrom(300, CPKey{Node: 9}) {
+		t.Error("ValidCNPFrom with nil witness rejected a valid CNP")
+	}
+}

@@ -442,6 +442,27 @@ func (m *Mix) StartCustomFlow(proto Protocol, src, dst *netsim.Host, size int64,
 	}))
 }
 
+// StartWrappedFlow is StartCustomFlow with an interposer on the flow's
+// controller: wrap receives the protocol's freshly built FlowCC and
+// returns the controller the flow actually runs — how the adversary
+// layer turns any protocol's sender into a rogue (CNP-deaf, ECN-blind,
+// blasting) without the protocol knowing. A nil wrap is StartCustomFlow.
+func (m *Mix) StartWrappedFlow(proto Protocol, src, dst *netsim.Host, size int64, maxRate netsim.Rate, reliable bool, wrap func(netsim.FlowCC) netsim.FlowCC) *netsim.Flow {
+	ops := m.Ops(proto)
+	cc := ops.NewFlowCC(m.Net, src)
+	if wrap != nil {
+		cc = wrap(cc)
+	}
+	return m.register(ops, m.Net.StartFlow(src, dst, netsim.FlowConfig{
+		Size:        size,
+		MaxRate:     maxRate,
+		CC:          cc,
+		Reliable:    reliable,
+		AckEvery:    ops.AckEvery(src),
+		ExtraHeader: ops.Features().ExtraHeaderBytes,
+	}))
+}
+
 // StartReliableFlow launches a go-back-N flow (App. A.2's lossy runs).
 func (m *Mix) StartReliableFlow(proto Protocol, src, dst *netsim.Host, size int64) *netsim.Flow {
 	ops := m.Ops(proto)

@@ -74,9 +74,12 @@ type Network struct {
 	routesDynamic bool
 
 	// reconverges counts route recomputations; stalePauseDrops counts PFC
-	// frames discarded because they predate their link's re-establishment.
-	reconverges     uint64
-	stalePauseDrops uint64
+	// frames discarded because they predate their link's re-establishment;
+	// watchdogPauseIgnores counts PFC frames discarded on ports whose
+	// lossless class a storm watchdog disabled.
+	reconverges          uint64
+	stalePauseDrops      uint64
+	watchdogPauseIgnores uint64
 
 	// pool recycles Packet structs; see pool.go for the lifecycle contract.
 	pool packetPool
@@ -365,6 +368,62 @@ func (n *Network) LinkDownDrops() uint64 {
 		total += h.port.LinkDownDrops
 	}
 	return total
+}
+
+// PolicedDrops sums data packets denied by switch Police hooks.
+func (n *Network) PolicedDrops() int {
+	total := 0
+	for _, s := range n.switches {
+		total += s.PolicedDrops
+	}
+	return total
+}
+
+// WatchdogDrops sums data packets discarded on storm-disabled egress
+// ports (including stuck-queue flushes at watchdog trips).
+func (n *Network) WatchdogDrops() int {
+	total := 0
+	for _, s := range n.switches {
+		total += s.WatchdogDrops
+	}
+	return total
+}
+
+// WatchdogPauseIgnores returns how many PFC frames were discarded on
+// ports whose lossless class a storm watchdog had disabled.
+func (n *Network) WatchdogPauseIgnores() uint64 { return n.watchdogPauseIgnores }
+
+// FlowPathCPs enumerates the congestion points — (switch, egress port)
+// pairs — a flow's data packets traverse from src to dst under the
+// current routing tables, following the same ECMP hash the dataplane
+// uses. The RoCC reaction point's forged-feedback defense treats this
+// set as the witness list: a CNP claiming a congestion point off the
+// flow's path was never earned by the flow's own packets. Returns nil
+// when the path is broken (blackhole window) or the ids are not hosts.
+func (n *Network) FlowPathCPs(flow FlowID, src, dst NodeID) []CPID {
+	if int(src) >= len(n.nodes) || int(dst) >= len(n.nodes) {
+		return nil
+	}
+	h, ok := n.nodes[src].(*Host)
+	if !ok || h.port == nil {
+		return nil
+	}
+	probe := Packet{Flow: flow, Dst: dst}
+	node := h.port.PeerNode
+	var out []CPID
+	for hops := 0; hops <= n.maxHops(); hops++ {
+		sw, ok := node.(*Switch)
+		if !ok {
+			return out // reached a host (the destination)
+		}
+		p := sw.egressFor(&probe)
+		if p == nil {
+			return out
+		}
+		out = append(out, CPID{Node: sw.id, Port: p.Index})
+		node = p.PeerNode
+	}
+	return out
 }
 
 // Reconverges returns how many route recomputations have completed.

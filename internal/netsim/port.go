@@ -46,6 +46,12 @@ type Port struct {
 	linkDown bool     // packets transmitted while down are lost
 	upSince  sim.Time // when the link last (re-)established at this end
 
+	// losslessOff marks the data class as storm-disabled by a PFC
+	// watchdog: incoming pause frames are ignored (and counted) and the
+	// owning switch drops data routed to this egress, until the
+	// watchdog's cooldown re-enables the class. See internal/adversary.
+	losslessOff bool
+
 	// Counters.
 	TxBytes       uint64 // all classes
 	TxDataBytes   uint64
@@ -64,6 +70,36 @@ func (p *Port) PausedFor() sim.Time {
 		t += p.net.Engine.Now() - p.pausedAt
 	}
 	return t
+}
+
+// CurrentPauseSpan returns how long the in-progress PFC pause has been
+// asserted, or zero when the port is not paused. This is the signal a
+// storm watchdog compares against its deadline — PausedFor would also
+// count long-completed healthy pauses.
+func (p *Port) CurrentPauseSpan() sim.Time {
+	if !p.paused {
+		return 0
+	}
+	return p.net.Engine.Now() - p.pausedAt
+}
+
+// LosslessOff reports whether a storm watchdog has disabled the
+// lossless (data) class on this port.
+func (p *Port) LosslessOff() bool { return p.losslessOff }
+
+// SetLosslessOff disables or re-enables the lossless class. Disabling
+// releases any pause in progress (ending its span) so the port drains;
+// while disabled, acceptPause discards incoming PFC frames and the
+// owning switch drops data routed here. Re-enabling restores normal
+// 802.1Qbb behaviour from the next pause frame onward.
+func (p *Port) SetLosslessOff(off bool) {
+	if p.losslessOff == off {
+		return
+	}
+	p.losslessOff = off
+	if off && p.paused {
+		p.SetPaused(false)
+	}
 }
 
 // Owner returns the node the port belongs to.
@@ -294,6 +330,13 @@ func (p *Port) sendPauseFrame(on bool) {
 // on record upstream — a permanent deadlock. The same applies while the
 // link is down: the physical layer that would carry the frame is gone.
 func (p *Port) acceptPause(pkt *Packet) bool {
+	if p.losslessOff {
+		// A storm watchdog disabled the lossless class here: the storm's
+		// pause frames are ignored until the cooldown re-enables it.
+		p.net.watchdogPauseIgnores++
+		p.net.tm.watchdogPauseIgnores.Inc()
+		return false
+	}
 	if p.linkDown || pkt.SendTS < p.upSince {
 		p.net.stalePauseDrops++
 		p.net.tm.stalePauseDrops.Inc()

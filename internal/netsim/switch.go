@@ -1,5 +1,7 @@
 package netsim
 
+import "rocc/internal/sim"
+
 // BufferConfig describes the shared packet buffer of a switch and its PFC
 // behaviour. The paper's defaults (per §6): 500 KB PFC threshold for
 // 40 Gb/s fabrics and 800 KB for 100 Gb/s.
@@ -69,6 +71,14 @@ type Switch struct {
 	// CP stall windows and probabilistic feedback loss. Nil admits all.
 	InjectGate func(pkt *Packet) bool
 
+	// Police, when set, adjudicates every data packet after egress
+	// resolution but before any buffer accounting: returning false makes
+	// this the packet's terminal point (a policed drop, counted
+	// separately from tail drops). The adversary compliance policer uses
+	// it for per-flow byte metering and quarantine enforcement. Nil — the
+	// default — leaves the admission path untouched.
+	Police func(now sim.Time, pkt *Packet, inPort int, egress *Port) bool
+
 	// failed marks a switch killed by FailSwitch: its table is cleared and
 	// ComputeRoutes skips it until RestoreSwitch (see topofail.go).
 	failed bool
@@ -83,6 +93,15 @@ type Switch struct {
 	// failure windows); LoopDrops counts packets that exceeded the hop cap.
 	BlackholeDrops uint64
 	LoopDrops      uint64
+
+	// PolicedDrops counts data packets denied by the Police hook;
+	// WatchdogDrops counts data packets discarded because their egress
+	// port's lossless class was disabled by a PFC storm watchdog
+	// (including stuck-queue flushes). Both are deliberate defensive
+	// drops, kept separate from Drops so lossless-mode invariants still
+	// hold when defenses fire.
+	PolicedDrops  int
+	WatchdogDrops int
 }
 
 // ID returns the switch's node id.
@@ -155,6 +174,21 @@ func (s *Switch) Arrive(pkt *Packet, inPort int) {
 		egress.Enqueue(pkt)
 		return
 	}
+	if egress.losslessOff {
+		// A storm watchdog disabled the lossless class on this egress:
+		// data headed into the wedged downstream is dropped instead of
+		// parked behind a pause that will never lift.
+		s.WatchdogDrops++
+		s.net.recordWatchdogDrop(s, pkt)
+		s.net.ReleasePacket(pkt)
+		return
+	}
+	if s.Police != nil && !s.Police(s.net.Engine.Now(), pkt, inPort, egress) {
+		s.PolicedDrops++
+		s.net.recordPolicedDrop(s, pkt)
+		s.net.ReleasePacket(pkt)
+		return
+	}
 	if s.Buffer.TotalBytes > 0 && s.bufferUsed+pkt.Size > s.Buffer.TotalBytes {
 		s.Drops++
 		s.net.recordDrop(s, pkt)
@@ -219,6 +253,27 @@ func (s *Switch) resume(in int) {
 	s.ResumeFrames++
 	s.net.tm.pfcResume.Inc()
 	s.ports[in].sendPauseFrame(false)
+}
+
+// FlushPortData discards every packet parked in one egress port's data
+// queue, running the normal dequeue accounting (buffer occupancy, PFC
+// resume) for each so upstream pause state unwinds exactly as if the
+// packets had been transmitted. The PFC storm watchdog calls it when it
+// disables the lossless class on a port: the stuck queue is the storm's
+// hostage, and dropping it is the deployed mitigation. Returns the
+// packet and byte counts flushed.
+func (s *Switch) FlushPortData(p *Port) (pkts, bytes int) {
+	for p.queues[ClassData].Len() > 0 {
+		pkt := p.queues[ClassData].Pop()
+		p.queueBytes[ClassData] -= pkt.Size
+		pkts++
+		bytes += pkt.Size
+		s.onDataDequeue(pkt, p.queueBytes[ClassData])
+		s.WatchdogDrops++
+		s.net.recordWatchdogDrop(s, pkt)
+		s.net.ReleasePacket(pkt)
+	}
+	return pkts, bytes
 }
 
 // egressFor picks the egress port for a packet, hashing flows across

@@ -26,6 +26,11 @@ type netMetrics struct {
 	loopDrops         *telemetry.Counter   // hop-cap (TTL) drops
 	stalePauseDrops   *telemetry.Counter   // pre-flap PFC frames discarded
 	reconvergeLatency *telemetry.Histogram // ns from topology event to recompute
+
+	// Defense instruments (internal/adversary seams).
+	policedDrops         *telemetry.Counter // data denied by Police hooks
+	watchdogDrops        *telemetry.Counter // data dropped on storm-disabled ports
+	watchdogPauseIgnores *telemetry.Counter // PFC frames ignored while lossless off
 }
 
 // SetTelemetry attaches a metrics registry and an optional flight
@@ -52,6 +57,10 @@ func (n *Network) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder)
 		loopDrops:         reg.Counter("netsim.route.loop_drops"),
 		stalePauseDrops:   reg.Counter("netsim.pfc.stale_pause_drops"),
 		reconvergeLatency: reg.Histogram("netsim.route.reconverge_ns"),
+
+		policedDrops:         reg.Counter("netsim.police.drops"),
+		watchdogDrops:        reg.Counter("netsim.watchdog.drops"),
+		watchdogPauseIgnores: reg.Counter("netsim.watchdog.pause_ignores"),
 	}
 	if reg == nil {
 		return
@@ -138,6 +147,35 @@ func (n *Network) recordDrop(s *Switch, pkt *Packet) {
 		Kind:  telemetry.KindInstant,
 		Cat:   "netsim",
 		Name:  "drop",
+		Node:  int64(s.id),
+		Flow:  int64(pkt.Flow),
+		Value: float64(pkt.Size),
+	})
+}
+
+// recordPolicedDrop files a compliance-policer denial as an instant
+// event, flow-tagged so quarantined flows are identifiable in traces.
+func (n *Network) recordPolicedDrop(s *Switch, pkt *Packet) {
+	n.tm.policedDrops.Inc()
+	n.rec.Record(telemetry.Event{
+		At:    int64(n.Engine.Now()),
+		Kind:  telemetry.KindInstant,
+		Cat:   "adversary",
+		Name:  "policed_drop",
+		Node:  int64(s.id),
+		Flow:  int64(pkt.Flow),
+		Value: float64(pkt.Size),
+	})
+}
+
+// recordWatchdogDrop files a storm-disabled-port data drop.
+func (n *Network) recordWatchdogDrop(s *Switch, pkt *Packet) {
+	n.tm.watchdogDrops.Inc()
+	n.rec.Record(telemetry.Event{
+		At:    int64(n.Engine.Now()),
+		Kind:  telemetry.KindInstant,
+		Cat:   "adversary",
+		Name:  "watchdog_drop",
 		Node:  int64(s.id),
 		Flow:  int64(pkt.Flow),
 		Value: float64(pkt.Size),

@@ -43,6 +43,22 @@ type RPOptions struct {
 
 	// MaxRateUnits overrides the core RP's corrupt-feedback bound.
 	MaxRateUnits int
+
+	// VerifyCPPath arms the forged-feedback defense: CNPs claiming a
+	// congestion point off the flow's current ECMP path (per
+	// netsim.FlowPathCPs) are rejected as spoofed. The witness set is
+	// learned lazily at the first CNP and extended after each reroute —
+	// extended, not replaced, so in-flight CNPs from a just-abandoned
+	// path are still honored. Off by default: the witness changes which
+	// CNPs a misbehaving fabric can land, so only adversarial
+	// deployments opt in.
+	VerifyCPPath bool
+
+	// MaxCNPAge, when positive, rejects CNPs whose send timestamp is
+	// older than this by delivery time (which includes the host's RP
+	// delay) — the replay defense. A recorded CNP replayed later to
+	// drag a victim's rate down fails this check. Zero disables it.
+	MaxCNPAge sim.Time
 }
 
 func (o *RPOptions) fill() {
@@ -75,6 +91,13 @@ type FlowCC struct {
 	pacer    netsim.Pacer
 	timer    sim.Handle
 
+	// Path-witness state (VerifyCPPath): the set of CPKeys on the
+	// flow's path, learned at the first CNP; relearn asks for a
+	// refresh after a reroute. Replays counts CNPs rejected for age.
+	pathCPs map[core.CPKey]bool
+	relearn bool
+	Replays int
+
 	// Telemetry (nil-safe; resolved from the host's network at build).
 	rec  *telemetry.Recorder
 	flow int64 // learned from the first packet seen, for event labelling
@@ -90,13 +113,17 @@ func NewFlowCC(engine *sim.Engine, host *netsim.Host, opts RPOptions) *FlowCC {
 		engine: engine,
 		host:   host,
 		opts:   opts,
-		rp: core.NewRP(core.RPConfig{
-			DeltaFMbps:   opts.DeltaFMbps,
-			RmaxMbps:     opts.RmaxMbps,
-			StaleK:       opts.StaleK,
-			MaxRateUnits: opts.MaxRateUnits,
-		}),
 	}
+	cfg := core.RPConfig{
+		DeltaFMbps:   opts.DeltaFMbps,
+		RmaxMbps:     opts.RmaxMbps,
+		StaleK:       opts.StaleK,
+		MaxRateUnits: opts.MaxRateUnits,
+	}
+	if opts.VerifyCPPath {
+		cfg.Witness = cc.witnessCP
+	}
+	cc.rp = core.NewRP(cfg)
 	if opts.HostRegistry != nil {
 		cc.hostCP = core.NewHostCP(opts.HostRegistry)
 	}
@@ -132,6 +159,16 @@ func (cc *FlowCC) OnCNP(now sim.Time, pkt *netsim.Packet) {
 	info := pkt.CNP
 	if info == nil {
 		return
+	}
+	if cc.opts.MaxCNPAge > 0 && now-pkt.SendTS > cc.opts.MaxCNPAge {
+		// Too old to describe the path's current state: a replayed (or
+		// absurdly delayed) CNP must not steer the rate limiter.
+		cc.Replays++
+		cc.rp.CountRejected()
+		return
+	}
+	if cc.opts.VerifyCPPath && (cc.pathCPs == nil || cc.relearn) {
+		cc.learnPath(pkt.Flow)
 	}
 	cpKey := core.CPKey{Node: int64(info.CP.Node), Port: info.CP.Port}
 	rateUnits := info.RateUnits
@@ -179,7 +216,38 @@ func (cc *FlowCC) OnCNP(now sim.Time, pkt *netsim.Packet) {
 // machinery — SuspectStale is a no-op when staleness handling is
 // disabled, preserving byte-identity for fabrics that opt out.
 func (cc *FlowCC) OnReroute(now sim.Time) {
+	cc.relearn = cc.pathCPs != nil // refresh the witness set at the next CNP
 	cc.rp.SuspectStale()
+}
+
+// learnPath extends the witness set with the congestion points on the
+// flow's current ECMP path. Entries accumulate across reroutes so a CNP
+// emitted on the old path just before the switch-over still validates.
+func (cc *FlowCC) learnPath(flow netsim.FlowID) {
+	cc.relearn = false
+	net := cc.host.Network()
+	f := net.Flow(flow)
+	if f == nil {
+		return
+	}
+	cps := net.FlowPathCPs(flow, f.Src().ID(), f.Dst().ID())
+	if len(cps) == 0 {
+		return
+	}
+	if cc.pathCPs == nil {
+		cc.pathCPs = make(map[core.CPKey]bool, len(cps))
+	}
+	for _, id := range cps {
+		cc.pathCPs[core.CPKey{Node: int64(id.Node), Port: id.Port}] = true
+	}
+}
+
+// witnessCP is the core.RPConfig.Witness hook: before the path is
+// learned every origin validates (the first CNP both teaches the path
+// and is judged against it — learnPath runs ahead of ProcessCNP in
+// OnCNP, so a spoofed first CNP is still caught).
+func (cc *FlowCC) witnessCP(cp core.CPKey) bool {
+	return cc.pathCPs == nil || cc.pathCPs[cp]
 }
 
 // recordRate files the RP's current rate as a per-flow counter track, so
