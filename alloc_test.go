@@ -10,6 +10,7 @@ import (
 
 	"rocc/internal/netsim"
 	"rocc/internal/sim"
+	"rocc/internal/topology"
 )
 
 func TestSteadyStateStepAllocs(t *testing.T) {
@@ -39,5 +40,55 @@ func TestSteadyStateStepAllocs(t *testing.T) {
 		perEvent, allocsPerBatch, batch)
 	if perEvent > 1 {
 		t.Fatalf("steady-state stepping allocates %.2f objects/event, want ≤1 (target 0)", perEvent)
+	}
+}
+
+// TestSteadyStateStepAllocsSharded is the same gate for the sharded
+// engine: once the per-shard event free lists and packet pools are
+// primed, windowed execution across two shards — mailbox handoffs,
+// ownership transfers, barriers — must stay allocation-free per event.
+// Traffic is symmetric across the cut so the shard-local pools balance
+// (cross-shard handoffs re-home packets to the receiving shard's pool;
+// one-directional traffic would drain the sender's free list forever).
+func TestSteadyStateStepAllocsSharded(t *testing.T) {
+	engine := sim.New()
+	net := netsim.New(engine, 1)
+	s0 := net.AddSwitch("s0", netsim.BufferConfig{})
+	s1 := net.AddSwitch("s1", netsim.BufferConfig{})
+	a := net.AddHost("a")
+	b := net.AddHost("b")
+	net.Connect(a, s0, netsim.Gbps(100), 1500*sim.Nanosecond)
+	net.Connect(b, s1, netsim.Gbps(100), 1500*sim.Nanosecond)
+	net.Connect(s0, s1, netsim.Gbps(100), 1500*sim.Nanosecond)
+	net.ComputeRoutes()
+
+	g := topology.PartitionAuto(net, 2).Apply(net)
+	if g.Shards() != 2 {
+		t.Fatalf("partition gave %d shards, want 2", g.Shards())
+	}
+	net.StartFlow(a, b, netsim.FlowConfig{Size: -1})
+	net.StartFlow(b, a, netsim.FlowConfig{Size: -1})
+
+	// Prime: pools, free lists, mailbox slices, worker machinery.
+	end := 2 * sim.Millisecond
+	engine.RunUntil(end)
+
+	const runs = 20
+	const step = 200 * sim.Microsecond
+	firedBefore := g.Fired()
+	allocsPerCall := testing.AllocsPerRun(runs, func() {
+		end += step
+		engine.RunUntil(end)
+	})
+	// AllocsPerRun runs the closure runs+1 times (one warm-up).
+	eventsPerCall := float64(g.Fired()-firedBefore) / float64(runs+1)
+	if eventsPerCall < 1000 {
+		t.Fatalf("only %.0f events per window batch; workload too idle to gate", eventsPerCall)
+	}
+	perEvent := allocsPerCall / eventsPerCall
+	t.Logf("sharded steady state: %.4f allocs/event (%.1f per ~%.0f-event window batch, 2 shards)",
+		perEvent, allocsPerCall, eventsPerCall)
+	if perEvent > 1 {
+		t.Fatalf("sharded steady-state allocates %.2f objects/event, want ≤1 (target 0)", perEvent)
 	}
 }

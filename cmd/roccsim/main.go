@@ -7,7 +7,7 @@
 //
 // Experiments: fig5 fig6 fig7a fig7b fig8 fig9 fig11 fig12a fig12b fig13
 // fig14 fig15 fig16 table3 fig17 fig18 fig19 fig20 qos table1 faults
-// recovery rollout collective rogue soak all (default fig8)
+// recovery rollout collective rogue soak scale all (default fig8)
 //
 // Flags:
 //
@@ -56,6 +56,11 @@
 //	           mode (PFC-only or CC-only lossy; default 0.25)
 //	-rogue-prob soak: probability a scenario hosts rogue senders policed
 //	           by switch-side defenses (default 0)
+//	-shards    engine shards for fat-tree runs (-1 = auto: GOMAXPROCS on a
+//	           multi-core machine, legacy single loop on one core; 0 =
+//	           legacy; N >= 1 all produce identical output)
+//	-flows     scale: concurrent persistent flows (default 100000)
+//	-bench-out scale: path for the scaling-bench JSON (default BENCH_10.json)
 package main
 
 import (
@@ -155,7 +160,7 @@ func emitBins(name, protocol string, bins []stats.BinStat) {
 func main() {
 	flag.Parse()
 	if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|recovery|rollout|collective|rogue|soak|all]")
+		fmt.Fprintln(os.Stderr, "usage: roccsim [flags] [fig5|fig6|fig7a|fig7b|fig8|fig9|fig11|fig12a|fig12b|fig13|fig14|fig15|fig16|table3|fig17|fig18|fig19|fig20|qos|table1|faults|recovery|rollout|collective|rogue|soak|scale|all]")
 		os.Exit(2)
 	}
 	name := "fig8" // the canonical single-bottleneck experiment
@@ -333,6 +338,8 @@ func run(name string) {
 		runRogueExp()
 	case "soak":
 		runSoak()
+	case "scale":
+		runScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 		os.Exit(2)
@@ -560,6 +567,7 @@ func fctConfig(p experiments.Protocol, wl *workload.CDF, seed int64) experiments
 		Workload: wl,
 		Load:     *loadFlag,
 		Seed:     seed,
+		Shards:   shardCount(),
 	}
 	if *fullFlag {
 		cfg.FatTree = topology.PaperFatTree()

@@ -37,6 +37,7 @@ func runSoak() {
 		Budget:  *budgetFlag,
 		Workers: *workFlag,
 		Gen:     gen,
+		Run:     chaos.RunOptions{Shards: shardCount()},
 		Shrink:  *shrinkFlag,
 		OutDir:  *soakOutFlag,
 		OnScenario: func(v chaos.Verdict) {

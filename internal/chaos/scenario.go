@@ -408,7 +408,8 @@ type fabric struct {
 	net   *netsim.Network
 	hosts []*netsim.Host
 	links [][2]*netsim.Port
-	star  *topology.Star // non-nil for TopoStar
+	star  *topology.Star    // non-nil for TopoStar
+	ft    *topology.FatTree // non-nil for TopoFatTree (pod-aligned sharding)
 }
 
 // buildFabric materializes the topology on an engine. Scenario.Seed
@@ -443,7 +444,8 @@ func (sc Scenario) buildFabric(engine *sim.Engine) *fabric {
 			HostRate:     netsim.Gbps(rate),
 			CoreRate:     netsim.Gbps(up / float64(t.Cores)),
 		}
-		f.net = topology.BuildFatTree(engine, sc.Seed, cfg).Net
+		ft := topology.BuildFatTree(engine, sc.Seed, cfg)
+		f.net, f.ft = ft.Net, ft
 	default:
 		panic("chaos: buildFabric on unvalidated scenario")
 	}

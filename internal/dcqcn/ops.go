@@ -37,7 +37,15 @@ func (o *Ops) Features() netsim.CCFeatures {
 
 // AttachPort implements netsim.CongestionOps.
 func (o *Ops) AttachPort(net *netsim.Network, sw *netsim.Switch, port *netsim.Port) netsim.PortCC {
-	return NewMarker(o.config(port.LinkRate.Gbps()), o.Rand)
+	r := o.Rand
+	if net.Sharded() {
+		// Sharded fabrics give each marker its own stream, seeded
+		// deterministically from the shared one at attach order: markers
+		// on different shards draw concurrently, and a shared stream
+		// would race (and make draw order partition-dependent).
+		r = o.Rand.Split()
+	}
+	return NewMarker(o.config(port.LinkRate.Gbps()), r)
 }
 
 // NewReceiver implements netsim.CongestionOps: at most one CNP per flow
@@ -48,7 +56,7 @@ func (o *Ops) NewReceiver(net *netsim.Network, h *netsim.Host) netsim.ReceiverHo
 
 // NewFlowCC implements netsim.CongestionOps.
 func (o *Ops) NewFlowCC(net *netsim.Network, src *netsim.Host) netsim.FlowCC {
-	return NewFlowCC(net.Engine, src, o.config(src.NIC().LinkRate.Gbps()))
+	return NewFlowCC(src.Engine(), src, o.config(src.NIC().LinkRate.Gbps()))
 }
 
 // AckEvery implements netsim.CongestionOps: DCQCN needs no flow ACKs.

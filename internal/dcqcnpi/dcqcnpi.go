@@ -53,7 +53,7 @@ type Marker struct {
 func Attach(net *netsim.Network, port *netsim.Port, cfg Config, rand *sim.Rand) *Marker {
 	m := &Marker{cfg: cfg, port: port, rand: rand}
 	port.CC = m
-	m.tick = net.Engine.NewTicker(cfg.T, m.update)
+	m.tick = port.Engine().NewTicker(cfg.T, m.update)
 	return m
 }
 

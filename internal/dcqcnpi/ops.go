@@ -48,7 +48,12 @@ func (o *Ops) Features() netsim.CCFeatures {
 // AttachPort implements netsim.CongestionOps: install the PI marker and
 // start its probability-update timer.
 func (o *Ops) AttachPort(net *netsim.Network, sw *netsim.Switch, port *netsim.Port) netsim.PortCC {
-	return Attach(net, port, o.config(port.LinkRate.Gbps()), o.Rand)
+	r := o.Rand
+	if net.Sharded() {
+		// Per-marker stream in sharded runs (see dcqcn.Ops.AttachPort).
+		r = o.Rand.Split()
+	}
+	return Attach(net, port, o.config(port.LinkRate.Gbps()), r)
 }
 
 // NewReceiver implements netsim.CongestionOps: DCQCN's receiver,
@@ -59,7 +64,7 @@ func (o *Ops) NewReceiver(net *netsim.Network, h *netsim.Host) netsim.ReceiverHo
 
 // NewFlowCC implements netsim.CongestionOps: DCQCN's sender, unchanged.
 func (o *Ops) NewFlowCC(net *netsim.Network, src *netsim.Host) netsim.FlowCC {
-	return dcqcn.NewFlowCC(net.Engine, src, o.endpoint(src.NIC().LinkRate.Gbps()))
+	return dcqcn.NewFlowCC(src.Engine(), src, o.endpoint(src.NIC().LinkRate.Gbps()))
 }
 
 // AckEvery implements netsim.CongestionOps: no flow ACKs needed.

@@ -49,6 +49,13 @@ type FCTConfig struct {
 	Warmup   sim.Time // flows starting before Warmup are not recorded
 	Seed     int64
 
+	// Shards selects the parallel event engine: > 0 runs the fabric on
+	// a pod-aligned sharded engine group with that many shards (clamped
+	// to the edge count), 0 keeps the legacy single-heap engine. Fixed
+	// seeds produce byte-identical results for every Shards >= 1; the
+	// legacy engine is its own (also deterministic) baseline.
+	Shards int
+
 	// IncastFanIn, when > 1, groups arrivals into synchronized incasts:
 	// each arrival event starts FanIn flows from distinct random senders
 	// to one random sink (the shuffle pattern of map-reduce traffic).
@@ -106,6 +113,11 @@ func RunFCT(cfg FCTConfig) FCTResult {
 	engine := sim.New()
 	ft := topology.BuildFatTree(engine, cfg.Seed, cfg.FatTree)
 	applyBufferMode(ft, cfg.Mode)
+	if cfg.Shards > 0 {
+		// Shard before any protocol attachment so CP tickers and markers
+		// land on their node's shard engine.
+		topology.PartitionFatTree(ft, cfg.Shards).Apply(ft.Net)
+	}
 
 	stack := NewStack(ft.Net, cfg.Protocol, 16*sim.Microsecond)
 	stack.EnableAllSwitchPorts()

@@ -27,6 +27,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"rocc/internal/netsim"
 	"rocc/internal/sim"
@@ -148,8 +149,24 @@ func New(net *netsim.Network, seed int64) *Injector {
 	}
 }
 
-// Stats returns a snapshot of the aggregated fault counters.
-func (in *Injector) Stats() Stats { return in.stats }
+// Stats returns a snapshot of the aggregated fault counters. Counters
+// are bumped atomically (link hooks and CP gates fire in shard context
+// under the parallel engine), so the snapshot loads them atomically too.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Dropped:      atomic.LoadUint64(&in.stats.Dropped),
+		CNPsLost:     atomic.LoadUint64(&in.stats.CNPsLost),
+		Corrupted:    atomic.LoadUint64(&in.stats.Corrupted),
+		Duplicated:   atomic.LoadUint64(&in.stats.Duplicated),
+		Reordered:    atomic.LoadUint64(&in.stats.Reordered),
+		Flaps:        atomic.LoadUint64(&in.stats.Flaps),
+		CNPsStalled:  atomic.LoadUint64(&in.stats.CNPsStalled),
+		StallWindows: atomic.LoadUint64(&in.stats.StallWindows),
+		LinkKills:    atomic.LoadUint64(&in.stats.LinkKills),
+		SwitchKills:  atomic.LoadUint64(&in.stats.SwitchKills),
+		Restores:     atomic.LoadUint64(&in.stats.Restores),
+	}
+}
 
 // Link attaches the fault configuration to both directions of the link
 // between ports a and b. A zero configuration attaches nothing.
@@ -191,19 +208,19 @@ func (h *linkHook) OnTransmit(now sim.Time, pkt *netsim.Packet) netsim.FaultVerd
 	u := h.rand.Float64()
 	switch {
 	case u < h.cfg.Drop:
-		h.in.stats.Dropped++
+		atomic.AddUint64(&h.in.stats.Dropped, 1)
 		if pkt.Kind == netsim.KindCNP {
-			h.in.stats.CNPsLost++
+			atomic.AddUint64(&h.in.stats.CNPsLost, 1)
 		}
 		return netsim.FaultVerdict{}
 	case u < h.cfg.Drop+h.cfg.Corrupt:
-		h.in.stats.Corrupted++
+		atomic.AddUint64(&h.in.stats.Corrupted, 1)
 		return netsim.FaultVerdict{Pkt: h.corrupt(pkt)}
 	case u < h.cfg.Drop+h.cfg.Corrupt+h.cfg.Duplicate:
-		h.in.stats.Duplicated++
+		atomic.AddUint64(&h.in.stats.Duplicated, 1)
 		return netsim.FaultVerdict{Pkt: pkt, Duplicate: true}
 	case u < h.cfg.Drop+h.cfg.Corrupt+h.cfg.Duplicate+h.cfg.Reorder:
-		h.in.stats.Reordered++
+		atomic.AddUint64(&h.in.stats.Reordered, 1)
 		return netsim.FaultVerdict{Pkt: pkt, ExtraDelay: h.cfg.ReorderDelay}
 	}
 	return netsim.Deliver(pkt)
@@ -251,7 +268,7 @@ func (in *Injector) Flap(a, b *netsim.Port, period, downFor sim.Time) {
 		engine.After(downFor, func() {
 			a.SetLinkDown(false)
 			b.SetLinkDown(false)
-			in.stats.Flaps++
+			atomic.AddUint64(&in.stats.Flaps, 1)
 			engine.After(period-downFor, down)
 		})
 	}
@@ -277,7 +294,7 @@ func (in *Injector) FlapWindow(a, b *netsim.Port, period, downFor, until sim.Tim
 		engine.After(downFor, func() {
 			a.SetLinkDown(false)
 			b.SetLinkDown(false)
-			in.stats.Flaps++
+			atomic.AddUint64(&in.stats.Flaps, 1)
 			engine.After(period-downFor, down)
 		})
 	}
@@ -316,12 +333,12 @@ func (in *Injector) KillLink(a, b *netsim.Port, at, restoreAt sim.Time) {
 	engine := in.net.Engine
 	engine.At(at, func() {
 		in.net.FailLink(a) // fails both ends; b names the link for the caller
-		in.stats.LinkKills++
+		atomic.AddUint64(&in.stats.LinkKills, 1)
 	})
 	if restoreAt > 0 {
 		engine.At(restoreAt, func() {
 			in.net.RestoreLink(a)
-			in.stats.Restores++
+			atomic.AddUint64(&in.stats.Restores, 1)
 		})
 	}
 }
@@ -337,12 +354,12 @@ func (in *Injector) KillSwitch(sw *netsim.Switch, at, restoreAt sim.Time) {
 	engine := in.net.Engine
 	engine.At(at, func() {
 		in.net.FailSwitch(sw)
-		in.stats.SwitchKills++
+		atomic.AddUint64(&in.stats.SwitchKills, 1)
 	})
 	if restoreAt > 0 {
 		engine.At(restoreAt, func() {
 			in.net.RestoreSwitch(sw)
-			in.stats.Restores++
+			atomic.AddUint64(&in.stats.Restores, 1)
 		})
 	}
 }
@@ -361,11 +378,11 @@ func (g *cpGate) allow(pkt *netsim.Packet) bool {
 		return true
 	}
 	if g.stalled {
-		g.in.stats.CNPsStalled++
+		atomic.AddUint64(&g.in.stats.CNPsStalled, 1)
 		return false
 	}
 	if g.drop > 0 && g.rand.Float64() < g.drop {
-		g.in.stats.CNPsLost++
+		atomic.AddUint64(&g.in.stats.CNPsLost, 1)
 		return false
 	}
 	return true
@@ -412,7 +429,7 @@ func (in *Injector) StallCP(sw *netsim.Switch, period, stallFor sim.Time) {
 	var stall func()
 	stall = func() {
 		g.stalled = true
-		in.stats.StallWindows++
+		atomic.AddUint64(&in.stats.StallWindows, 1)
 		engine.After(stallFor, func() {
 			g.stalled = false
 			engine.After(period-stallFor, stall)
@@ -436,7 +453,7 @@ func (in *Injector) StallCPWindow(sw *netsim.Switch, period, stallFor, until sim
 			return
 		}
 		g.stalled = true
-		in.stats.StallWindows++
+		atomic.AddUint64(&in.stats.StallWindows, 1)
 		engine.After(stallFor, func() {
 			g.stalled = false
 			engine.After(period-stallFor, stall)

@@ -1,6 +1,10 @@
 package netsim
 
-import "rocc/internal/sim"
+import (
+	"sync/atomic"
+
+	"rocc/internal/sim"
+)
 
 // FlowConfig describes a flow to start.
 type FlowConfig struct {
@@ -178,8 +182,9 @@ func (f *Flow) makePacket(now sim.Time) *Packet {
 func (f *Flow) armRTO(now sim.Time) {
 	f.rtoEv.Cancel()
 	// AfterCall with a package-level func: arming the RTO per packet must
-	// not allocate a bound-method closure.
-	f.rtoEv = f.net.Engine.AfterCall(f.RTO, flowRTO, f, nil)
+	// not allocate a bound-method closure. The timer lives on the sender's
+	// engine — RTO state is sender-side.
+	f.rtoEv = f.src.eng.AfterCall(f.RTO, flowRTO, f, nil)
 }
 
 // flowRTO is the go-back-N backstop: rewind to the last acknowledged byte.
@@ -189,8 +194,8 @@ func flowRTO(a, _ any) {
 	if f.stopped || f.ackedSeq >= f.Size && f.Size >= 0 {
 		return
 	}
-	f.rewind(f.net.Engine.Now(), f.ackedSeq)
-	f.armRTO(f.net.Engine.Now())
+	f.rewind(f.src.eng.Now(), f.ackedSeq)
+	f.armRTO(f.src.eng.Now())
 	f.src.Kick()
 }
 
@@ -206,7 +211,8 @@ func (f *Flow) rewind(now sim.Time, seq int64) {
 	f.lastRewindSeq = seq
 	f.lastRewindTime = now
 	f.RetxBytes += f.nextSeq - seq
-	f.net.RetxBytesTotal += f.nextSeq - seq
+	// Atomic: flows on different shards rewind concurrently.
+	atomic.AddInt64(&f.net.RetxBytesTotal, f.nextSeq-seq)
 	f.nextSeq = seq
 	if cc, ok := f.CC.(RetxAware); ok {
 		cc.OnRewind(now, seq)
@@ -244,6 +250,16 @@ func (f *Flow) onDataArrive(now sim.Time, pkt *Packet) {
 	if advanced && !f.done && f.Size >= 0 && f.rcvdContig >= f.Size {
 		f.done = true
 		f.FinishTime = now
+		if f.net.group != nil {
+			// Sharded: completion callbacks mutate the flow registry and
+			// may start new flows or stop the run — global-lane work.
+			// Defer to the window barrier; the coordinator replays the
+			// list in (FinishTime, dst, flow) order, which is
+			// partition-independent.
+			st := &f.net.shardSt[f.dst.shard]
+			st.done = append(st.done, f)
+			return
+		}
 		if f.net.OnFlowDone != nil {
 			f.net.OnFlowDone(f)
 		}
@@ -258,7 +274,7 @@ func (f *Flow) onDataArrive(now sim.Time, pkt *Packet) {
 // aliasing the data packet's slice would dangle once the data packet
 // returns to the pool.
 func (f *Flow) sendAck(now sim.Time, data *Packet, nack bool) {
-	ack := f.net.AcquirePacket()
+	ack := f.net.AcquirePacketFor(f.dst)
 	ack.Flow = f.ID
 	ack.Src = f.dstID
 	ack.Dst = f.srcID
@@ -280,7 +296,14 @@ func (f *Flow) onAckArrive(now sim.Time, pkt *Packet) {
 		if f.Reliable {
 			if f.Size >= 0 && f.ackedSeq >= f.Size {
 				f.rtoEv.Cancel()
-				f.net.removeFlowLater(f)
+				if f.net.group != nil {
+					// Sharded: registry mutation and controller teardown
+					// defer to the window barrier (see onDataArrive).
+					st := &f.net.shardSt[f.src.shard]
+					st.retire = append(st.retire, retireReq{f: f, at: now})
+				} else {
+					f.net.removeFlowLater(f)
+				}
 			} else {
 				f.armRTO(now)
 			}

@@ -27,6 +27,11 @@ type Host struct {
 	rrIndex int
 	wake    sim.Handle
 
+	// eng is the engine this host's events run on (the network engine
+	// until EnableSharding re-homes the host onto a shard).
+	eng   *sim.Engine
+	shard int
+
 	// Counters.
 	RxDataBytes uint64
 	CNPsRx      uint64
@@ -37,6 +42,11 @@ func (h *Host) ID() NodeID { return h.id }
 
 // Network returns the network the host belongs to.
 func (h *Host) Network() *Network { return h.net }
+
+// Engine returns the engine this host's events run on: the network
+// engine, or the host's shard engine in sharded runs. Per-flow
+// controllers (reaction points) must schedule their timers here.
+func (h *Host) Engine() *sim.Engine { return h.eng }
 
 // Ports returns the host's single NIC port, or nothing before the host
 // is connected.
@@ -74,7 +84,7 @@ func (h *Host) addFlow(f *Flow) {
 // refill is the NIC pull hook: pick the next transmittable packet, or
 // schedule a wake-up at the earliest pacing deadline.
 func (h *Host) refill() *Packet {
-	now := h.net.Engine.Now()
+	now := h.eng.Now()
 	h.cleanup()
 	n := len(h.flows)
 	if n == 0 {
@@ -132,7 +142,7 @@ func (h *Host) scheduleWake(at sim.Time) {
 		return
 	}
 	h.wake.Cancel()
-	h.wake = h.net.Engine.AtCall(at, hostWake, h, nil)
+	h.wake = h.eng.AtCall(at, hostWake, h, nil)
 }
 
 // hostWake re-arms the NIC scheduler; scheduled via AtCall so pacing
@@ -148,7 +158,7 @@ func hostCNPReady(a, b any) {
 	h := a.(*Host)
 	pkt := b.(*Packet)
 	if f := h.net.flows[pkt.Flow]; f != nil {
-		f.CC.OnCNP(h.net.Engine.Now(), pkt)
+		f.CC.OnCNP(h.eng.Now(), pkt)
 		h.port.kick()
 	}
 	h.net.ReleasePacket(pkt)
@@ -161,7 +171,7 @@ func hostCNPReady(a, b any) {
 // packet — have run.
 func (h *Host) Arrive(pkt *Packet, inPort int) {
 	pkt.checkLive("host arrive")
-	now := h.net.Engine.Now()
+	now := h.eng.Now()
 	switch pkt.Kind {
 	case KindPause:
 		if h.port.acceptPause(pkt) {
@@ -193,7 +203,7 @@ func (h *Host) Arrive(pkt *Packet, inPort int) {
 			return
 		}
 		// NIC reaction delay before the reaction point processes the CNP.
-		h.net.Engine.AfterCall(h.RPDelay, hostCNPReady, h, pkt)
+		h.eng.AfterCall(h.RPDelay, hostCNPReady, h, pkt)
 	}
 }
 

@@ -82,7 +82,22 @@ type Network struct {
 	watchdogPauseIgnores uint64
 
 	// pool recycles Packet structs; see pool.go for the lifecycle contract.
-	pool packetPool
+	// In sharded runs (EnableSharding) pools replaces it with one
+	// shard-local free list per shard, and shardSt carries each shard's
+	// deferred flow completions.
+	pool    packetPool
+	group   *sim.Group
+	pools   []packetPool
+	shardSt []shardState
+
+	// Barrier-drain scratch (shard.go), reused so steady-state barriers
+	// do not allocate.
+	doneScratch   []*Flow
+	retireScratch []retireReq
+
+	// portSeq numbers ports in creation order; the sharded engine keys
+	// every directed link's arrival lane by it.
+	portSeq uint64
 
 	// longestPause is the longest completed PFC pause interval seen so
 	// far; LongestPauseSpan extends it with in-progress pauses so a true
@@ -110,7 +125,7 @@ func New(engine *sim.Engine, seed int64) *Network {
 
 // AddHost creates a host.
 func (n *Network) AddHost(name string) *Host {
-	h := &Host{net: n, id: NodeID(len(n.nodes)), Name: name, RPDelay: n.DefaultRPDelay}
+	h := &Host{net: n, id: NodeID(len(n.nodes)), Name: name, RPDelay: n.DefaultRPDelay, eng: n.Engine}
 	n.nodes = append(n.nodes, h)
 	n.hosts = append(n.hosts, h)
 	return h
@@ -124,6 +139,7 @@ func (n *Network) AddSwitch(name string, buf BufferConfig) *Switch {
 		Name:   name,
 		Buffer: buf,
 		routes: make(map[NodeID][]int),
+		eng:    n.Engine,
 	}
 	n.nodes = append(n.nodes, s)
 	n.switches = append(n.switches, s)
@@ -145,8 +161,9 @@ func (n *Network) Flow(id FlowID) *Flow { return n.flows[id] }
 // Connect links two nodes with a full-duplex link of the given rate and
 // propagation delay, returning the two port ends (a's, then b's).
 func (n *Network) Connect(a, b Node, rate Rate, delay sim.Time) (*Port, *Port) {
-	pa := &Port{net: n, owner: a, LinkRate: rate, PropDelay: delay}
-	pb := &Port{net: n, owner: b, LinkRate: rate, PropDelay: delay}
+	pa := &Port{net: n, owner: a, LinkRate: rate, PropDelay: delay, eng: n.Engine, arrLane: laneArrBase | n.portSeq}
+	pb := &Port{net: n, owner: b, LinkRate: rate, PropDelay: delay, eng: n.Engine, arrLane: laneArrBase | (n.portSeq + 1)}
+	n.portSeq += 2
 	n.attach(a, pa)
 	n.attach(b, pb)
 	pa.PeerNode, pa.PeerPort = b, pb.Index

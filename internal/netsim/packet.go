@@ -134,6 +134,12 @@ type Packet struct {
 	// pc is the poolcheck lifecycle stamp. Without the poolcheck build
 	// tag it is an empty struct and every check compiles to nothing.
 	pc pcheck
+
+	// pool is the index of the shard-local pool that owns this packet
+	// (always 0 unsharded). Cross-shard handoffs re-stamp it at the
+	// mailbox drain, so acquire and release always touch the pool of the
+	// shard currently holding the packet.
+	pool int32
 }
 
 // EnsureCNP attaches a zeroed congestion payload to the packet, stored
@@ -151,12 +157,12 @@ func (pkt *Packet) reset() {
 	intBuf := pkt.INT[:0]
 	echoBuf := pkt.EchoINT[:0]
 	pc := pkt.pc
-	*pkt = Packet{INT: intBuf, EchoINT: echoBuf, pooled: true, pc: pc}
+	*pkt = Packet{INT: intBuf, EchoINT: echoBuf, pooled: true, pc: pc, pool: pkt.pool}
 }
 
 // dataPacket builds a payload packet for a flow from the network pool.
 func dataPacket(f *Flow, seq int64, payload int, last bool, now sim.Time) *Packet {
-	pkt := f.net.AcquirePacket()
+	pkt := f.net.AcquirePacketFor(f.src)
 	pkt.Flow = f.ID
 	pkt.Src = f.srcID
 	pkt.Dst = f.dstID

@@ -32,7 +32,12 @@ type packetPool struct {
 // assert byte-identity between the two paths. Toggle before the first
 // packet is sent; flipping mid-run is safe (the free list is simply
 // ignored or resumed) but pointless.
-func (n *Network) SetPooling(on bool) { n.pool.disabled = !on }
+func (n *Network) SetPooling(on bool) {
+	n.pool.disabled = !on
+	for i := range n.pools {
+		n.pools[i].disabled = !on
+	}
+}
 
 // PoolingEnabled reports whether packet reuse is active.
 func (n *Network) PoolingEnabled() bool { return !n.pool.disabled }
@@ -41,10 +46,28 @@ func (n *Network) PoolingEnabled() bool { return !n.pool.disabled }
 // elements that inject packets (CNP generators, receiver hooks) must use
 // this instead of &Packet{} so the hot path stays allocation-free; the
 // network releases the packet at its terminal point.
+//
+// In sharded runs this form has no shard context, so it returns a fresh
+// unpooled packet (safe from any goroutine; the GC reclaims it).
+// In-context callers use AcquirePacketFor, which stays pooled.
 func (n *Network) AcquirePacket() *Packet {
-	p := &n.pool
-	if p.disabled {
+	if n.group != nil || n.pool.disabled {
 		pkt := &Packet{}
+		n.preallocINT(pkt)
+		return pkt
+	}
+	return n.acquireFrom(0)
+}
+
+// acquireFrom pops a packet from one shard-local pool (pool 0 doubles as
+// the unsharded pool).
+func (n *Network) acquireFrom(idx int32) *Packet {
+	p := &n.pool
+	if n.pools != nil {
+		p = &n.pools[idx]
+	}
+	if p.disabled {
+		pkt := &Packet{pool: idx}
 		n.preallocINT(pkt)
 		return pkt
 	}
@@ -57,7 +80,7 @@ func (n *Network) AcquirePacket() *Packet {
 		p.free = p.free[:m-1]
 	} else {
 		p.allocated++
-		pkt = &Packet{pooled: true}
+		pkt = &Packet{pooled: true, pool: idx}
 		n.preallocINT(pkt)
 	}
 	pkt.stampAcquire()
@@ -86,6 +109,13 @@ func (n *Network) ReleasePacket(pkt *Packet) {
 	}
 	pkt.stampRelease()
 	p := &n.pool
+	if n.pools != nil {
+		// Sharded: the packet returns to the free list of the shard that
+		// currently owns it — cross-shard handoffs re-stamped pkt.pool at
+		// the mailbox drain, so release always lands on the caller's own
+		// (data-race-free) pool.
+		p = &n.pools[pkt.pool]
+	}
 	p.released++
 	p.live--
 	if p.disabled {
@@ -100,11 +130,22 @@ func (n *Network) ReleasePacket(pkt *Packet) {
 // the clone owns its own INT/EchoINT backing arrays and CNP payload, so
 // both copies can be mutated and released independently.
 func (n *Network) ClonePacket(pkt *Packet) *Packet {
-	c := n.AcquirePacket()
+	// The clone joins the original's pool: cloning happens on the sending
+	// side of a link, and the duplicate crosses the same link (and the
+	// same ownership transfer) as the original. A clone of an unpooled
+	// packet stays unpooled — in sharded runs pkt.pool says nothing about
+	// which shard is holding it.
+	var c *Packet
+	if pkt.pooled {
+		c = n.acquireFrom(pkt.pool)
+	} else {
+		c = &Packet{}
+		n.preallocINT(c)
+	}
 	intBuf, echoBuf := c.INT, c.EchoINT
-	pooled, pc := c.pooled, c.pc
+	pooled, pc, pool := c.pooled, c.pc, c.pool
 	*c = *pkt
-	c.pooled, c.pc = pooled, pc
+	c.pooled, c.pc, c.pool = pooled, pc, pool
 	c.INT = append(intBuf[:0], pkt.INT...)
 	c.EchoINT = append(echoBuf[:0], pkt.EchoINT...)
 	if pkt.CNP != nil {
@@ -122,15 +163,44 @@ func (n *Network) ClonePacket(pkt *Packet) *Packet {
 // a delayed-delivery event. After a full drain (engine queue empty, all
 // port queues empty) this must be zero — the chaos packet-accounting
 // invariant — and it can only go negative through a double release.
-func (n *Network) OutstandingPackets() int64 { return n.pool.live }
+// Sharded runs sum the shard-local pools (read between windows).
+func (n *Network) OutstandingPackets() int64 {
+	if n.pools == nil {
+		return n.pool.live
+	}
+	total := int64(0)
+	for i := range n.pools {
+		total += n.pools[i].live
+	}
+	return total
+}
 
 // PacketsAcquired returns the lifetime count of pool acquisitions.
-func (n *Network) PacketsAcquired() uint64 { return n.pool.acquired }
+func (n *Network) PacketsAcquired() uint64 {
+	if n.pools == nil {
+		return n.pool.acquired
+	}
+	total := uint64(0)
+	for i := range n.pools {
+		total += n.pools[i].acquired
+	}
+	return total
+}
 
 // PacketSlots returns how many Packet structs the pool ever allocated.
 // In an allocation-free steady state this stops growing: it tracks the
 // peak number of simultaneously live packets, not the number sent.
-func (n *Network) PacketSlots() uint64 { return n.pool.allocated }
+// Sharded runs sum the shard-local pools.
+func (n *Network) PacketSlots() uint64 {
+	if n.pools == nil {
+		return n.pool.allocated
+	}
+	total := uint64(0)
+	for i := range n.pools {
+		total += n.pools[i].allocated
+	}
+	return total
+}
 
 // QueuedPackets counts packets sitting in port queues across the whole
 // network (all nodes, all classes). Together with OutstandingPackets it

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"sync/atomic"
+
 	"rocc/internal/ringq"
 	"rocc/internal/sim"
 )
@@ -46,6 +48,19 @@ type Port struct {
 	linkDown bool     // packets transmitted while down are lost
 	upSince  sim.Time // when the link last (re-)established at this end
 
+	// Sharded-engine wiring (see shard.go). eng is the engine this
+	// port's events run on — the network engine until EnableSharding
+	// re-homes the owner onto a shard. arrLane keys this directed link's
+	// arrival lane (creation-order port id), linkSeq sequences arrivals
+	// within it, and peerShard/peerCtx cache the far end's shard and
+	// local lane.
+	eng       *sim.Engine
+	shard     int
+	peerShard int
+	peerCtx   uint64
+	arrLane   uint64
+	linkSeq   uint64
+
 	// losslessOff marks the data class as storm-disabled by a PFC
 	// watchdog: incoming pause frames are ignored (and counted) and the
 	// owning switch drops data routed to this egress, until the
@@ -67,7 +82,7 @@ type Port struct {
 func (p *Port) PausedFor() sim.Time {
 	t := p.pausedFor
 	if p.paused {
-		t += p.net.Engine.Now() - p.pausedAt
+		t += p.eng.Now() - p.pausedAt
 	}
 	return t
 }
@@ -80,7 +95,7 @@ func (p *Port) CurrentPauseSpan() sim.Time {
 	if !p.paused {
 		return 0
 	}
-	return p.net.Engine.Now() - p.pausedAt
+	return p.eng.Now() - p.pausedAt
 }
 
 // LosslessOff reports whether a storm watchdog has disabled the
@@ -104,6 +119,11 @@ func (p *Port) SetLosslessOff(off bool) {
 
 // Owner returns the node the port belongs to.
 func (p *Port) Owner() Node { return p.owner }
+
+// Engine returns the engine this port's events run on: the network
+// engine, or the owner's shard engine in sharded runs. Switch-side
+// congestion-control attachments must schedule their timers here.
+func (p *Port) Engine() *sim.Engine { return p.eng }
 
 // QueueBytes returns the queued bytes of one class (excluding the packet
 // currently being serialized).
@@ -138,7 +158,7 @@ func (p *Port) SetLinkDown(down bool) {
 		}
 		return
 	}
-	p.upSince = p.net.Engine.Now()
+	p.upSince = p.eng.Now()
 	if p.paused {
 		p.SetPaused(false)
 	}
@@ -180,7 +200,7 @@ func (p *Port) SetPaused(on bool) {
 		return
 	}
 	p.paused = on
-	now := p.net.Engine.Now()
+	now := p.eng.Now()
 	if on {
 		p.pausedAt = now
 		p.trace("pause", pauseTraceStub)
@@ -228,7 +248,7 @@ func (p *Port) kick() {
 		return
 	}
 	p.busy = true
-	now := p.net.Engine.Now()
+	now := p.eng.Now()
 	p.trace("dequeue", pkt)
 	if pkt.Kind == KindData {
 		if p.OnDequeue != nil {
@@ -239,7 +259,7 @@ func (p *Port) kick() {
 		}
 	}
 	txTime := p.LinkRate.TxTime(pkt.Size)
-	p.net.Engine.AfterCall(txTime, portTxDone, p, pkt)
+	p.eng.AfterCall(txTime, portTxDone, p, pkt)
 }
 
 // portTxDone fires when a packet finishes serializing: counters, hand-off
@@ -275,7 +295,7 @@ func (p *Port) deliver(pkt *Packet, delay sim.Time) {
 		return
 	}
 	if p.Fault != nil {
-		v := p.Fault.OnTransmit(p.net.Engine.Now(), pkt)
+		v := p.Fault.OnTransmit(p.eng.Now(), pkt)
 		if v.Pkt == nil {
 			// The link lost the packet: this is its terminal point.
 			p.net.ReleasePacket(pkt)
@@ -290,12 +310,12 @@ func (p *Port) deliver(pkt *Packet, delay sim.Time) {
 		if v.Duplicate {
 			// Schedule the original first so it keeps arriving ahead of its
 			// duplicate (same timestamp, earlier sequence number).
-			p.net.Engine.AfterCall(delay, portArrive, p, pkt)
-			p.net.Engine.AfterCall(delay, portArrive, p, p.net.ClonePacket(pkt))
+			p.scheduleArrival(delay, pkt)
+			p.scheduleArrival(delay, p.net.ClonePacket(pkt))
 			return
 		}
 	}
-	p.net.Engine.AfterCall(delay, portArrive, p, pkt)
+	p.scheduleArrival(delay, pkt)
 }
 
 // portArrive lands a packet at the link peer after propagation. Peer
@@ -313,12 +333,12 @@ func portArrive(a, b any) {
 // faulty link can lose them — the peer then stays paused (or unpaused)
 // until the link-up reset clears the state.
 func (p *Port) sendPauseFrame(on bool) {
-	pkt := p.net.AcquirePacket()
+	pkt := p.net.AcquirePacketFor(p.owner)
 	pkt.Kind = KindPause
 	pkt.Cls = ClassCtrl
 	pkt.Size = PauseBytes
 	pkt.PauseOn = on
-	pkt.SendTS = p.net.Engine.Now()
+	pkt.SendTS = p.eng.Now()
 	p.deliver(pkt, p.LinkRate.TxTime(PauseBytes)+p.PropDelay)
 }
 
@@ -333,12 +353,13 @@ func (p *Port) acceptPause(pkt *Packet) bool {
 	if p.losslessOff {
 		// A storm watchdog disabled the lossless class here: the storm's
 		// pause frames are ignored until the cooldown re-enables it.
-		p.net.watchdogPauseIgnores++
+		// Atomic: ports on different shards bump this concurrently.
+		atomic.AddUint64(&p.net.watchdogPauseIgnores, 1)
 		p.net.tm.watchdogPauseIgnores.Inc()
 		return false
 	}
 	if p.linkDown || pkt.SendTS < p.upSince {
-		p.net.stalePauseDrops++
+		atomic.AddUint64(&p.net.stalePauseDrops, 1)
 		p.net.tm.stalePauseDrops.Inc()
 		return false
 	}

@@ -83,6 +83,11 @@ type Switch struct {
 	// ComputeRoutes skips it until RestoreSwitch (see topofail.go).
 	failed bool
 
+	// eng is the engine this switch's events run on (the network engine
+	// until EnableSharding re-homes the switch onto a shard).
+	eng   *sim.Engine
+	shard int
+
 	// Counters.
 	PauseFrames   int // Xoff frames sent (the paper's "PFC activations")
 	ResumeFrames  int
@@ -106,6 +111,11 @@ type Switch struct {
 
 // ID returns the switch's node id.
 func (s *Switch) ID() NodeID { return s.id }
+
+// Engine returns the engine this switch's events run on: the network
+// engine, or the switch's shard engine in sharded runs. Switch-side
+// congestion points and defense tickers must schedule their timers here.
+func (s *Switch) Engine() *sim.Engine { return s.eng }
 
 // Ports returns the switch's ports.
 func (s *Switch) Ports() []*Port { return s.ports }
@@ -183,7 +193,7 @@ func (s *Switch) Arrive(pkt *Packet, inPort int) {
 		s.net.ReleasePacket(pkt)
 		return
 	}
-	if s.Police != nil && !s.Police(s.net.Engine.Now(), pkt, inPort, egress) {
+	if s.Police != nil && !s.Police(s.eng.Now(), pkt, inPort, egress) {
 		s.PolicedDrops++
 		s.net.recordPolicedDrop(s, pkt)
 		s.net.ReleasePacket(pkt)
@@ -218,7 +228,7 @@ func (s *Switch) Arrive(pkt *Packet, inPort int) {
 		}
 	}
 	if egress.CC != nil {
-		egress.CC.OnEnqueue(s.net.Engine.Now(), pkt, egress.QueueBytes(ClassData)+pkt.Size)
+		egress.CC.OnEnqueue(s.eng.Now(), pkt, egress.QueueBytes(ClassData)+pkt.Size)
 	}
 	egress.Enqueue(pkt)
 }

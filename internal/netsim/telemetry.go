@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"sync/atomic"
+
 	"rocc/internal/sim"
 	"rocc/internal/telemetry"
 )
@@ -66,10 +68,28 @@ func (n *Network) SetTelemetry(reg *telemetry.Registry, rec *telemetry.Recorder)
 		return
 	}
 	n.reg = reg
-	eng := n.Engine
-	reg.GaugeFunc("sim.events_fired", func() float64 { return float64(eng.Fired()) })
-	reg.GaugeFunc("sim.events_pending", func() float64 { return float64(eng.Pending()) })
-	reg.GaugeFunc("sim.events_max_pending", func() float64 { return float64(eng.MaxPending()) })
+	// The sim.* gauges report fabric-wide truth: in sharded runs they
+	// aggregate over every shard engine plus the global lane (the group
+	// is consulted at snapshot time, so attach order vs. EnableSharding
+	// does not matter).
+	reg.GaugeFunc("sim.events_fired", func() float64 {
+		if n.group != nil {
+			return float64(n.group.Fired())
+		}
+		return float64(n.Engine.Fired())
+	})
+	reg.GaugeFunc("sim.events_pending", func() float64 {
+		if n.group != nil {
+			return float64(n.group.Pending())
+		}
+		return float64(n.Engine.Pending())
+	})
+	reg.GaugeFunc("sim.events_max_pending", func() float64 {
+		if n.group != nil {
+			return float64(n.group.MaxPending())
+		}
+		return float64(n.Engine.MaxPending())
+	})
 	reg.GaugeFunc("netsim.active_flows", func() float64 { return float64(n.ActiveFlowCount()) })
 	reg.GaugeFunc("netsim.pfc.longest_pause_span_ns", func() float64 {
 		return float64(n.LongestPauseSpan())
@@ -101,11 +121,16 @@ func (n *Network) Recorder() *telemetry.Recorder { return n.rec }
 // Network.PauseStormSpan).
 func (n *Network) recordPauseSpan(p *Port, start, end sim.Time) {
 	span := end - start
-	if span > n.longestPause {
-		n.longestPause = span
+	// Atomic CAS-max / add: ports on different shards complete pauses
+	// concurrently. Reads happen on the global lane between windows.
+	for {
+		cur := sim.Time(atomic.LoadInt64((*int64)(&n.longestPause)))
+		if span <= cur || atomic.CompareAndSwapInt64((*int64)(&n.longestPause), int64(cur), int64(span)) {
+			break
+		}
 	}
 	if n.PauseStormSpan > 0 && span >= n.PauseStormSpan {
-		n.pauseStorms++
+		atomic.AddUint64(&n.pauseStorms, 1)
 		n.tm.pfcStorm.Inc()
 	}
 	n.tm.pauseSpans.Observe(int64(end - start))
@@ -129,7 +154,7 @@ func (n *Network) recordQueueDepth(p *Port) {
 	q := p.queueBytes[ClassData]
 	n.tm.queueDepth.Observe(int64(q))
 	n.rec.Record(telemetry.Event{
-		At:    int64(n.Engine.Now()),
+		At:    int64(p.eng.Now()),
 		Kind:  telemetry.KindCounter,
 		Cat:   "netsim",
 		Name:  "qdepth_bytes",
@@ -143,7 +168,7 @@ func (n *Network) recordQueueDepth(p *Port) {
 func (n *Network) recordDrop(s *Switch, pkt *Packet) {
 	n.tm.drops.Inc()
 	n.rec.Record(telemetry.Event{
-		At:    int64(n.Engine.Now()),
+		At:    int64(s.eng.Now()),
 		Kind:  telemetry.KindInstant,
 		Cat:   "netsim",
 		Name:  "drop",
@@ -158,7 +183,7 @@ func (n *Network) recordDrop(s *Switch, pkt *Packet) {
 func (n *Network) recordPolicedDrop(s *Switch, pkt *Packet) {
 	n.tm.policedDrops.Inc()
 	n.rec.Record(telemetry.Event{
-		At:    int64(n.Engine.Now()),
+		At:    int64(s.eng.Now()),
 		Kind:  telemetry.KindInstant,
 		Cat:   "adversary",
 		Name:  "policed_drop",
@@ -172,7 +197,7 @@ func (n *Network) recordPolicedDrop(s *Switch, pkt *Packet) {
 func (n *Network) recordWatchdogDrop(s *Switch, pkt *Packet) {
 	n.tm.watchdogDrops.Inc()
 	n.rec.Record(telemetry.Event{
-		At:    int64(n.Engine.Now()),
+		At:    int64(s.eng.Now()),
 		Kind:  telemetry.KindInstant,
 		Cat:   "adversary",
 		Name:  "watchdog_drop",

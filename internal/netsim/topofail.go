@@ -237,7 +237,7 @@ func (n *Network) recordTopoEvent(name string, node NodeID) {
 func (n *Network) recordLoopDrop(s *Switch, pkt *Packet) {
 	n.tm.loopDrops.Inc()
 	n.rec.Record(telemetry.Event{
-		At:    int64(n.Engine.Now()),
+		At:    int64(s.eng.Now()),
 		Kind:  telemetry.KindInstant,
 		Cat:   "route",
 		Name:  "loop_drop",
@@ -251,7 +251,7 @@ func (n *Network) recordLoopDrop(s *Switch, pkt *Packet) {
 func (n *Network) recordBlackhole(s *Switch, pkt *Packet) {
 	n.tm.blackholeDrops.Inc()
 	n.rec.Record(telemetry.Event{
-		At:    int64(n.Engine.Now()),
+		At:    int64(s.eng.Now()),
 		Kind:  telemetry.KindInstant,
 		Cat:   "route",
 		Name:  "blackhole",

@@ -104,7 +104,7 @@ func (cp *CP) OnEnqueue(now sim.Time, pkt *netsim.Packet, qlen int) {
 		return
 	}
 	cp.FbSent++
-	cnp := cp.net.AcquirePacket()
+	cnp := cp.net.AcquirePacketFor(cp.sw)
 	cnp.Flow = pkt.Flow
 	cnp.Src = cp.sw.ID()
 	cnp.Dst = f.Src().ID()

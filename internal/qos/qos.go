@@ -85,7 +85,7 @@ func Attach(net *netsim.Network, sw *netsim.Switch, port *netsim.Port, opts Opti
 		opts:  opts,
 	}
 	port.CC = cp
-	cp.tick = net.Engine.NewTicker(opts.T, cp.update)
+	cp.tick = port.Engine().NewTicker(opts.T, cp.update)
 	return cp
 }
 
@@ -114,7 +114,7 @@ func (cp *CP) weight(f netsim.FlowID) float64 {
 }
 
 func (cp *CP) update() {
-	now := cp.net.Engine.Now()
+	now := cp.port.Engine().Now()
 	qcur := cp.port.DataQueueBytes()
 	baseUnits := cp.core.Update(qcur)
 	if qcur < cp.opts.MinSignalBytes {
@@ -130,7 +130,7 @@ func (cp *CP) update() {
 		if units < 1 {
 			units = 1
 		}
-		cnp := cp.net.AcquirePacket()
+		cnp := cp.net.AcquirePacketFor(cp.sw)
 		cnp.Flow = f.ID
 		cnp.Src = cp.sw.ID()
 		cnp.Dst = f.Src().ID()

@@ -98,7 +98,9 @@ func Attach(net *netsim.Network, sw *netsim.Switch, port *netsim.Port, opts CPOp
 		name := fmt.Sprintf("rocc.cp.n%dp%d.fair_rate_mbps", sw.ID(), port.Index)
 		reg.GaugeFunc(name, cp.FairRateMbps)
 	}
-	cp.tick = net.Engine.NewTicker(opts.T, cp.update)
+	// The fair-rate timer runs on the switch's engine so sharded runs
+	// keep every CP local to its shard.
+	cp.tick = port.Engine().NewTicker(opts.T, cp.update)
 	return cp
 }
 
@@ -129,7 +131,7 @@ func (cp *CP) OnDequeue(now sim.Time, pkt *netsim.Packet, qlen int) {
 // update runs once per T: compute the fair rate from the egress queue and
 // send a CNP to every flow-table recipient (§3.2-§3.4).
 func (cp *CP) update() {
-	now := cp.net.Engine.Now()
+	now := cp.port.Engine().Now()
 	qcur := cp.port.DataQueueBytes()
 	var rateUnits, qoldUnits int
 	if cp.opts.HostComputed {
@@ -165,7 +167,7 @@ func (cp *CP) update() {
 		if f == nil {
 			continue
 		}
-		cnp := cp.net.AcquirePacket()
+		cnp := cp.net.AcquirePacketFor(cp.sw)
 		cnp.Flow = f.ID
 		cnp.Src = cp.sw.ID()
 		cnp.Dst = f.Src().ID()

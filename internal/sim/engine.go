@@ -12,6 +12,20 @@ type event struct {
 	seq uint64
 	gen uint64 // bumped on every recycle; Handles carry the gen they saw
 
+	// k1 is the ordering lane: events with equal timestamps sort by
+	// (k1, seq). Legacy (unsharded) scheduling leaves k1 at zero, so the
+	// order degenerates to the historical (at, seq) and stays
+	// byte-identical. Sharded runs use lanes to make same-timestamp
+	// ordering independent of how the topology is partitioned: a lane is
+	// shared only by events whose relative seq order is itself
+	// partition-independent (see shard.go and DESIGN.md §14).
+	//
+	// ctx is the lane inherited by children: while this event's callback
+	// runs, any event it schedules via At/After/AtCall/AfterCall is
+	// stamped k1=ctx=ctx. AtKeyed sets both explicitly.
+	k1  uint64
+	ctx uint64
+
 	// Exactly one of fn / cb is set while scheduled; both nil once the
 	// slot is free. The cb form exists so hot paths can schedule without
 	// allocating a closure: cb is typically a package-level func and a, b
@@ -79,6 +93,9 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
+	if h[i].k1 != h[j].k1 {
+		return h[i].k1 < h[j].k1
+	}
 	return h[i].seq < h[j].seq
 }
 func (h eventHeap) Swap(i, j int) {
@@ -112,6 +129,15 @@ type Engine struct {
 	fired      uint64
 	maxPending int
 	allocated  uint64 // event slots ever allocated (pool high-water mark)
+
+	// curCtx is the lane of the event currently executing (zero between
+	// events and for all legacy scheduling). New events inherit it.
+	curCtx uint64
+
+	// group, when non-nil, marks this engine as the global lane of a
+	// sharded Group: Run/RunUntil/Stop delegate to the group's windowed
+	// coordinator instead of draining this heap alone.
+	group *Group
 }
 
 // New returns an engine with the clock at zero and no pending events.
@@ -168,6 +194,8 @@ func (e *Engine) schedule(ev *event, t Time) Handle {
 	e.seq++
 	ev.at = t
 	ev.seq = e.seq
+	ev.k1 = e.curCtx
+	ev.ctx = e.curCtx
 	heap.Push(&e.events, ev)
 	if len(e.events) > e.maxPending {
 		e.maxPending = len(e.events)
@@ -212,8 +240,39 @@ func (e *Engine) AfterCall(d Time, cb Callback, a, b any) Handle {
 	return e.AtCall(e.now+d, cb, a, b)
 }
 
+// AtKeyed schedules cb(a, b) at time t with an explicit ordering lane,
+// lane-local sequence number, and child context, bypassing the engine's
+// own seq counter. Sharded dataplanes use it for packet arrivals: the
+// (lane, seq) pair is derived from the transmitting link, so arrival
+// order at equal timestamps does not depend on which shard the sender
+// landed on. ctx is inherited by everything the callback schedules.
+func (e *Engine) AtKeyed(t Time, lane, seq, ctx uint64, cb Callback, a, b any) Handle {
+	ev := e.acquire()
+	ev.cb = cb
+	ev.a = a
+	ev.b = b
+	if t < e.now {
+		panic("sim: scheduling event in the past")
+	}
+	ev.at = t
+	ev.seq = seq
+	ev.k1 = lane
+	ev.ctx = ctx
+	heap.Push(&e.events, ev)
+	if len(e.events) > e.maxPending {
+		e.maxPending = len(e.events)
+	}
+	return Handle{ev: ev, gen: ev.gen}
+}
+
 // Stop makes Run and RunUntil return after the current event completes.
-func (e *Engine) Stop() { e.stopped = true }
+// On the global lane of a sharded Group this stops the whole group.
+func (e *Engine) Stop() {
+	e.stopped = true
+	if e.group != nil {
+		e.group.stopped = true
+	}
+}
 
 // Step executes the single earliest pending event. It reports whether an
 // event was executed. The slot is recycled before the callback runs, so
@@ -224,6 +283,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.at
+	e.curCtx = ev.ctx
 	fn, cb, a, b := ev.fn, ev.cb, ev.a, ev.b
 	e.recycle(ev)
 	e.fired++
@@ -235,16 +295,26 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until the queue drains or Stop is called. On the
+// global lane of a sharded Group it runs the group's windowed schedule.
 func (e *Engine) Run() {
+	if e.group != nil {
+		e.group.Run()
+		return
+	}
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
 }
 
 // RunUntil executes events with timestamps <= end, then sets the clock to
-// end. Events scheduled after end remain pending.
+// end. Events scheduled after end remain pending. On the global lane of a
+// sharded Group it runs the group's windowed schedule.
 func (e *Engine) RunUntil(end Time) {
+	if e.group != nil {
+		e.group.RunUntil(end)
+		return
+	}
 	e.stopped = false
 	for !e.stopped {
 		if len(e.events) == 0 || e.events[0].at > end {
@@ -256,6 +326,33 @@ func (e *Engine) RunUntil(end Time) {
 		e.now = end
 	}
 }
+
+// nextAt returns the timestamp of the earliest pending event, or
+// maxTime when the heap is empty.
+func (e *Engine) nextAt() Time {
+	if len(e.events) == 0 {
+		return maxTime
+	}
+	return e.events[0].at
+}
+
+// runWindow executes every pending event strictly before w, then
+// fast-forwards the clock to w and resets the inherited lane. It is the
+// per-shard body of one conservative-lookahead window: all events < w are
+// causally closed within the shard (cross-shard influence cannot arrive
+// before w), so shards run their windows concurrently.
+func (e *Engine) runWindow(w Time) {
+	for len(e.events) > 0 && e.events[0].at < w {
+		e.Step()
+	}
+	if e.now < w {
+		e.now = w
+	}
+	e.curCtx = 0
+}
+
+// maxTime is the sentinel "no event" timestamp.
+const maxTime = Time(1<<63 - 1)
 
 // Ticker invokes fn every period, starting at now+period, until cancelled.
 // Each tick's event slot comes from (and returns to) the engine pool, and
